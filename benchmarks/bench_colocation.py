@@ -1,0 +1,25 @@
+"""Bench: extension — workload co-location contention.
+
+Shape: the paper's conclusion (prefetcher-compatible pre-eviction wins
+under memory pressure) carries over when the pressure comes from two
+applications sharing the GPU.
+"""
+
+from repro.analysis.metrics import geomean
+from repro.experiments import extension_colocation
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_extension_colocation(benchmark):
+    result = run_once(benchmark, extension_colocation.run, scale=SCALE)
+    save_result(result)
+    naive = result.column("LRU4K+on-demand")
+    sle = result.column("SLe+SLp")
+    tbne = result.column("TBNe+TBNp")
+    best_combo = [min(s, t) for s, t in zip(sle, tbne)]
+    # Pre-eviction pairings beat the naive pairing on every pair, and by a
+    # large factor on geomean.
+    for n, b in zip(naive, best_combo):
+        assert b < n
+    assert geomean([n / b for n, b in zip(naive, best_combo)]) > 1.5

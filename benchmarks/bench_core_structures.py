@@ -1,0 +1,119 @@
+"""Microbenchmarks of the core data structures.
+
+Unlike the experiment benches (one-shot, shape-asserting), these use
+pytest-benchmark's normal multi-round timing: they guard the hot paths the
+whole-simulation runtime depends on — tree balancing, hierarchical LRU
+maintenance, MSHR traffic, TLB lookups, and the bandwidth model.
+"""
+
+import random
+
+from repro import constants
+from repro.interconnect.bandwidth import BandwidthModel
+from repro.memory.allocation import TreeRegion
+from repro.memory.btree import BuddyTree
+from repro.memory.lru import FlatLRU, HierarchicalLRU
+from repro.memory.mshr import FarFaultMSHR
+from repro.memory.tlb import Tlb
+
+KB64 = constants.BASIC_BLOCK_SIZE
+
+
+def test_perf_tree_fill_and_balance(benchmark):
+    """One full fill/evict cycle over a 2MB tree (32 blocks)."""
+
+    def cycle():
+        tree = BuddyTree(TreeRegion(0, 32, KB64))
+        filled = set()
+        for block in range(32):
+            if block in filled:
+                continue
+            tree.adjust_block(block, KB64 - tree.leaf_valid_bytes(block))
+            filled.add(block)
+            filled.update(tree.balance_after_fill(block))
+        for block in range(32):
+            valid = tree.leaf_valid_bytes(block)
+            if valid:
+                tree.adjust_block(block, -valid)
+                tree.balance_after_evict(block)
+        return tree.root_valid_bytes
+
+    assert benchmark(cycle) == 0
+
+
+def test_perf_hierarchical_lru_churn(benchmark):
+    """Insert/touch/evict traffic over 4K pages across 8 chunks."""
+    pages = list(range(4096))
+    rng = random.Random(0)
+    sample = [rng.choice(pages) for _ in range(2000)]
+
+    def churn():
+        lru = HierarchicalLRU()
+        for page in pages:
+            lru.insert(page)
+        for page in sample:
+            lru.touch(page)
+        removed = 0
+        while len(lru) > 2048:
+            block = lru.victim_block()
+            removed += len(lru.remove_block(block))
+        return removed
+
+    assert benchmark(churn) == 2048
+
+
+def test_perf_flat_lru_victim_scan(benchmark):
+    """Victim selection with a reservation skip over 10K pages."""
+    lru = FlatLRU()
+    for page in range(10_000):
+        lru.insert(page)
+
+    def pick():
+        return lru.victim(skip=1000)
+
+    assert benchmark(pick) == 1000
+
+
+def test_perf_mshr_register_complete(benchmark):
+    """Register + merge + complete for 512 pages."""
+
+    def traffic():
+        mshr = FarFaultMSHR(1024)
+        for page in range(512):
+            mshr.register(page, None, 0.0)
+            mshr.register(page, "warp", 0.0)  # merge
+        woken = 0
+        for page in range(512):
+            woken += len(mshr.complete(page))
+        return woken
+
+    assert benchmark(traffic) == 512
+
+
+def test_perf_tlb_lookup_storm(benchmark):
+    """1K lookups against a 512-entry TLB with 60% locality."""
+    tlb = Tlb(512)
+    rng = random.Random(1)
+    stream = [rng.randrange(800) for _ in range(1000)]
+
+    def storm():
+        hits = 0
+        for page in stream:
+            if tlb.lookup(page):
+                hits += 1
+            else:
+                tlb.insert(page)
+        return hits
+
+    assert benchmark(storm) >= 0
+
+
+def test_perf_bandwidth_model(benchmark):
+    """Latency evaluation across the transfer-size spectrum."""
+    model = BandwidthModel()
+    sizes = [4096 * (1 << (i % 9)) for i in range(256)]
+
+    def evaluate():
+        return sum(model.latency_ns(size) for size in sizes)
+
+    assert benchmark(evaluate) > 0

@@ -1,0 +1,47 @@
+"""Bench: extension features — adaptive pre-eviction, page-walk model,
+finite fault buffer."""
+
+from repro.analysis.metrics import geomean
+from repro.experiments import ablations, extension_adaptive
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_extension_adaptive_policy(benchmark):
+    result = run_once(benchmark, extension_adaptive.run, scale=SCALE)
+    save_result(result)
+    sle = result.column("SLe")
+    tbne = result.column("TBNe")
+    adaptive = result.column("Adaptive")
+    # The adaptive policy stays inside (or close to) the envelope of the
+    # two static policies it blends, on geomean.
+    worst = [max(s, t) for s, t in zip(sle, tbne)]
+    best = [min(s, t) for s, t in zip(sle, tbne)]
+    assert geomean([w / a for w, a in zip(worst, adaptive)]) > 0.8
+    assert geomean([a / b for a, b in zip(adaptive, best)]) < 2.0
+
+
+def test_ablation_page_walk_model(benchmark):
+    result = run_once(benchmark, ablations.run_page_walk_model,
+                      scale=SCALE)
+    save_result(result)
+    fixed = result.column("fixed")
+    radix = result.column("radix")
+    # The detailed model changes timing only modestly when the working set
+    # fits: most walks hit the PWC at the PT level.
+    for f, r in zip(fixed, radix):
+        assert r < f * 2.0 and f < r * 2.0
+
+
+def test_ablation_fault_buffer(benchmark):
+    result = run_once(benchmark, ablations.run_fault_buffer, scale=SCALE)
+    save_result(result)
+    unlimited = result.column("unlimited")
+    small = result.column("4 faults")
+    # Counter-intuitive but model-consistent: a small fault buffer is
+    # never slower here.  Early faults' prefetches cover pages whose
+    # faults are still queued; at their (later) service round those are
+    # already in flight and are filtered before paying the 45 us handling.
+    # An unlimited buffer bills every fault of the big batch.
+    for u, s in zip(unlimited, small):
+        assert s <= u * 1.05

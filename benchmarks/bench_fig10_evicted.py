@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 10 (pages evicted per eviction scheme).
+
+Paper shape: kernel performance correlates with the number of pages
+evicted — the policy that evicts fewer pages (less thrashing) runs faster.
+"""
+
+from repro.experiments import fig9_eviction, fig10_evicted_pages
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig10_pages_evicted(benchmark):
+    result = run_once(benchmark, fig10_evicted_pages.run, scale=SCALE)
+    save_result(result)
+    time_result = fig9_eviction.run(scale=SCALE)
+    lru_e = dict(zip(result.column("workload"),
+                     result.column("lru4k eviction")))
+    rnd_e = dict(zip(result.column("workload"),
+                     result.column("random eviction")))
+    lru_t = dict(zip(time_result.column("workload"),
+                     time_result.column("lru4k eviction")))
+    rnd_t = dict(zip(time_result.column("workload"),
+                     time_result.column("random eviction")))
+    # Where one policy evicts far more pages than the other, it is also
+    # the slower one (the paper's correlation claim).
+    for name in lru_e:
+        if lru_e[name] > rnd_e[name] * 1.5:
+            assert lru_t[name] > rnd_t[name] * 0.9
+        elif rnd_e[name] > lru_e[name] * 1.5:
+            assert rnd_t[name] > lru_t[name] * 0.9

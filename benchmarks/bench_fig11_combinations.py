@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 11 (prefetcher/eviction pairings at 110%).
+
+Paper shape: SLe+SLp and TBNe+TBNp drastically outperform LRU4K+on-demand
+and Re+Rp; TBNe+TBNp is close to the paper's 93% average improvement over
+the LRU4K baseline; nw is the exception where SLe+SLp wins.
+"""
+
+from repro.analysis.metrics import geomean
+from repro.experiments import fig11_combinations
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig11_policy_combinations(benchmark):
+    result = run_once(benchmark, fig11_combinations.run, scale=SCALE)
+    save_result(result)
+    names = result.column("workload")
+    lru4k = result.column("LRU4K+on-demand")
+    rerp = result.column("Re+Rp")
+    sle = result.column("SLe+SLp")
+    tbne = result.column("TBNe+TBNp")
+
+    by_name = {n: i for i, n in enumerate(names)}
+    reuse = [n for n in names if n not in ("backprop", "pathfinder",
+                                           "gemm")]
+    # The locality-aware combos drastically beat the first two pairings on
+    # every reuse workload.
+    for name in reuse:
+        i = by_name[name]
+        assert min(sle[i], tbne[i]) < min(lru4k[i], rerp[i])
+    # Average TBNe+TBNp improvement over LRU4K+on-demand is large
+    # (paper: 93%; the exact figure depends on footprint scale).
+    improvement = geomean([l / t for l, t in zip(lru4k, tbne)]) - 1.0
+    assert improvement > 0.4
+    # The nw exception: SLe+SLp beats TBNe+TBNp.
+    i = by_name["nw"]
+    assert sle[i] < tbne[i]

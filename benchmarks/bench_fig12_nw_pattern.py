@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 12 (nw page-access scatter).
+
+Paper shape: in a given iteration a *set* of pages, spaced far apart in
+the virtual address space (one matrix-row stride apart), is accessed
+repeatedly over time; the set shifts between iterations 60 and 70.
+"""
+
+from repro.experiments import fig12_nw_pattern
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig12_nw_access_pattern(benchmark):
+    result = run_once(benchmark, fig12_nw_pattern.run, scale=SCALE)
+    save_result(result)
+    for row in result.rows:
+        iteration, accesses, distinct, span, mean_gap, touches = row
+        # Sparse: the pages touched are far apart in the address space.
+        assert mean_gap > 4
+        # Spanning a large virtual range (many 64KB blocks).
+        assert span > 100
+        # Accessed repeatedly over the iteration.
+        assert touches >= 2.0
+    traces = fig12_nw_pattern.collect(scale=SCALE)
+    sets = [set(t.distinct_pages) for t in traces]
+    # The wavefront moved between the two sampled iterations: different
+    # page sets drawn from the same sparse row-strided lattice.
+    assert sets[0] != sets[1]

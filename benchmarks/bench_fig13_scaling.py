@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 13 (TBNe+TBNp over-subscription scaling).
+
+Paper shape: backprop and pathfinder are insensitive; the others degrade
+with over-subscription; nw degrades the fastest (localized sparse access).
+"""
+
+from repro.experiments import fig13_oversub_scaling
+
+from conftest import SCALE, run_once, save_result
+
+STREAMING = {"backprop", "pathfinder", "gemm"}
+
+
+def test_fig13_oversubscription_scaling(benchmark):
+    result = run_once(benchmark, fig13_oversub_scaling.run, scale=SCALE)
+    save_result(result)
+    degradations = {}
+    for row in result.rows:
+        workload, fits, p105, p110, p125, p150 = row
+        if workload in STREAMING:
+            # Streaming: essentially flat across the sweep.
+            assert p150 <= fits * 2.0
+            continue
+        # Monotone-ish degradation with over-subscription.
+        assert p150 > fits
+        assert p150 >= p110 * 0.9
+        degradations[workload] = p150 / fits
+    # nw is among the most over-subscription-sensitive reuse workloads.
+    worst = max(degradations.values())
+    assert degradations["nw"] >= worst * 0.4
+    assert degradations["nw"] > 3.0

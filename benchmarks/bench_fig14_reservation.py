@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 14 (LRU-head reservation with TBNe+TBNp).
+
+Paper shape: streaming workloads show no variation; 10% reservation helps
+workloads with cross-launch reuse; larger reservations can hurt.
+"""
+
+from repro.experiments import fig14_reservation
+
+from conftest import SCALE, run_once, save_result
+
+STREAMING = {"backprop", "pathfinder"}
+
+
+def test_fig14_lru_reservation(benchmark):
+    result = run_once(benchmark, fig14_reservation.run, scale=SCALE)
+    save_result(result)
+    helped = 0
+    hurt_at_20 = 0
+    for row in result.rows:
+        workload, r0, r10, r20 = row
+        if workload in STREAMING:
+            # No variation for streaming access patterns.
+            assert abs(r10 - r0) <= r0 * 0.15
+            assert abs(r20 - r0) <= r0 * 0.15
+            continue
+        if r10 < r0 * 0.98:
+            helped += 1
+        if r20 > r10 * 1.02:
+            hurt_at_20 += 1
+    # Reservation helps at least one reuse-heavy workload (the paper
+    # reports improvements for all non-streaming ones; magnitude depends
+    # on footprint scale)...
+    assert helped >= 1
+    # ...and "with higher percentage of reservation, it hurts for certain
+    # benchmarks".
+    assert hurt_at_20 >= 1

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 15 (TBNe vs static 2 MB LRU eviction).
+
+Paper shape: TBNe's adaptive 64KB..1MB granularity beats fixed 2 MB
+eviction — 18.5% on average and up to 52% in the paper.
+"""
+
+from repro.analysis.metrics import geomean
+from repro.experiments import fig15_tbne_vs_2mb
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig15_tbne_vs_2mb(benchmark):
+    result = run_once(benchmark, fig15_tbne_vs_2mb.run, scale=SCALE)
+    save_result(result)
+    speedups = result.column("TBNe speedup")
+    # TBNe wins on average (paper: 18.5%)...
+    assert geomean(speedups) > 1.05
+    # ...and clearly somewhere (paper: up to 52%).
+    assert max(speedups) > 1.2
+    # It never loses catastrophically anywhere.
+    assert min(speedups) > 0.7

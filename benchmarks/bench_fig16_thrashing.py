@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 16 (pages thrashed: TBNe vs 2 MB eviction).
+
+Paper shape: backprop and pathfinder show zero thrashing (no reuse); for
+the reuse workloads TBNe thrashes substantially fewer pages than 2 MB
+eviction, and thrashing grows with over-subscription.
+"""
+
+from repro.experiments import fig16_thrashing
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig16_page_thrashing(benchmark):
+    result = run_once(benchmark, fig16_thrashing.run, scale=SCALE)
+    save_result(result)
+    tbne_beats = 0
+    reuse_rows = 0
+    for row in result.rows:
+        workload, tbne110, lru110, tbne125, lru125 = row
+        if workload in ("backprop", "pathfinder", "gemm"):
+            assert tbne110 == 0
+            assert tbne125 <= 200
+            continue
+        reuse_rows += 1
+        # Thrashing grows (or at least does not shrink) with pressure.
+        assert tbne125 >= tbne110 * 0.8
+        if tbne110 < lru110:
+            tbne_beats += 1
+    # TBNe thrashes fewer pages than 2MB eviction on most reuse workloads.
+    assert tbne_beats >= reuse_rows - 1

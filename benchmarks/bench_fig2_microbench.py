@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 2 end-to-end (prefetcher-discovery probes).
+
+The per-probe migration signatures are asserted *exactly* — they are the
+fingerprints by which the paper identified the tree-based neighborhood
+semantics on real hardware.
+"""
+
+from repro.experiments import fig2_microbench
+
+from conftest import run_once, save_result
+
+
+def test_fig2_probe_signatures(benchmark):
+    result = run_once(benchmark, fig2_microbench.run)
+    save_result(result)
+    rows = {(row[0].split()[0], row[1]): (row[2], row[3])
+            for row in result.rows}
+
+    # On-demand: one page per probe.
+    assert rows[("fig2a", "none")] == ("1+1+1+1+1", 5)
+    assert rows[("fig2b", "none")] == ("1+1+1+1", 4)
+
+    # SLp: exactly the touched 64KB block per probe.
+    assert rows[("fig2a", "sequential-local")] == ("16+16+16+16+16", 80)
+    assert rows[("fig2b", "sequential-local")] == ("16+16+16+16", 64)
+
+    # TBNp, Figure 2(a): the fifth probe balances the whole tree
+    # (blocks 0, 2, 4, 6 -> 64 pages at once).
+    assert rows[("fig2a", "tbn")] == ("16+16+16+16+64", 128)
+    # TBNp, Figure 2(b): third probe prefetches block 2 (32 pages total),
+    # fourth probe prefetches blocks 5, 6, 7 (64 pages total).
+    assert rows[("fig2b", "tbn")] == ("16+16+32+64", 128)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 3 (kernel time per prefetcher, no
+over-subscription).
+
+Paper shape: every prefetcher beats on-demand paging on every workload,
+and the tree-based neighborhood prefetcher is the best overall.
+"""
+
+from repro.analysis.metrics import geomean
+from repro.experiments import fig3_prefetch_time
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig3_prefetcher_kernel_time(benchmark):
+    result = run_once(benchmark, fig3_prefetch_time.run, scale=SCALE)
+    save_result(result)
+    none_t = result.column("none")
+    random_t = result.column("random")
+    sl_t = result.column("sequential-local")
+    tbn_t = result.column("tbn")
+    for n, r, s, t in zip(none_t, random_t, sl_t, tbn_t):
+        # Every prefetcher improves on on-demand paging...
+        assert r < n and s < n and t < n
+        # ...and TBNp never loses to SLp.
+        assert t <= s * 1.001
+    # TBNp is dramatically better than no prefetching on average
+    # (the paper calls naive fault handling an orders-of-magnitude issue).
+    assert geomean([n / t for n, t in zip(none_t, tbn_t)]) > 5.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 4 (average PCI-e read bandwidth per
+prefetcher).
+
+Paper shape: bandwidth improves from on-demand (~3.2 GB/s, 4KB transfers)
+through SLp to TBNp, which sustains the largest transfers.
+"""
+
+from repro.experiments import fig4_bandwidth
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig4_pcie_read_bandwidth(benchmark):
+    result = run_once(benchmark, fig4_bandwidth.run, scale=SCALE)
+    save_result(result)
+    none_bw = result.column("none")
+    random_bw = result.column("random")
+    sl_bw = result.column("sequential-local")
+    tbn_bw = result.column("tbn")
+    for n, r, s, t in zip(none_bw, random_bw, sl_bw, tbn_bw):
+        # On-demand paging moves 4KB at a time: ~3.2 GB/s (Table 1).
+        assert 3.0 < n < 3.5
+        assert 3.0 < r < 4.0
+        # Block-granularity prefetchers sustain much higher bandwidth.
+        assert s > n * 1.5
+        assert t >= s * 0.95
+        # Never above the link's 1MB-transfer ceiling.
+        assert t <= 11.3

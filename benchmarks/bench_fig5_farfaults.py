@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 5 (total far-faults per prefetcher).
+
+Paper shape: prefetchers cut far-fault counts; TBNp eliminates the most
+(prefetched pages are accessed "without encountering any far-fault").
+"""
+
+from repro.experiments import fig5_farfaults
+
+from conftest import SCALE, run_once, save_result
+
+
+def test_fig5_far_fault_counts(benchmark):
+    result = run_once(benchmark, fig5_farfaults.run, scale=SCALE)
+    save_result(result)
+    none_f = result.column("none")
+    random_f = result.column("random")
+    sl_f = result.column("sequential-local")
+    tbn_f = result.column("tbn")
+    for n, r, s, t in zip(none_f, random_f, sl_f, tbn_f):
+        # The random prefetcher halves faults at best; block prefetchers
+        # cut them by an order of magnitude.
+        assert r <= n
+        assert s <= n / 4
+        assert t <= s * 1.001

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 6 (over-subscription + free-page buffer
+sensitivity with the prefetcher disabled under pressure).
+
+Paper shape: kernel time degrades drastically with even small
+over-subscription for reuse workloads; streaming workloads are immune; the
+memory-threshold free-page buffer makes things worse, not better.
+"""
+
+from repro.experiments import fig6_oversub_sensitivity
+
+from conftest import SCALE, run_once, save_result
+
+STREAMING = {"backprop", "pathfinder"}
+
+
+def test_fig6_oversubscription_sensitivity(benchmark):
+    result = run_once(benchmark, fig6_oversub_sensitivity.run, scale=SCALE)
+    save_result(result)
+    for row in result.rows:
+        workload, fits, p105, p110, p125, buf5, buf10 = row
+        if workload in STREAMING or workload == "gemm":
+            # Streaming / single-scan workloads barely notice.
+            assert p125 <= fits * 1.5
+            continue
+        # Reuse workloads degrade sharply with over-subscription...
+        assert p105 > fits * 1.5
+        assert p125 >= p105 * 0.9
+        # ...and the free-page buffer does not rescue the 110% point
+        # (it disables the prefetcher even earlier).
+        assert min(buf5, buf10) > fits

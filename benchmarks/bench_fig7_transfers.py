@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 7 (4 KB transfer counts across the Figure 6
+matrix).
+
+Paper shape: over-subscription (and the free-page buffer) cause a drastic
+increase in 4 KB transfers because the prefetcher is disabled and pages
+move on demand.
+"""
+
+from repro.experiments import fig7_transfer_counts
+
+from conftest import SCALE, run_once, save_result
+
+STREAMING = {"backprop", "pathfinder", "gemm"}
+
+
+def test_fig7_4kb_transfer_counts(benchmark):
+    result = run_once(benchmark, fig7_transfer_counts.run, scale=SCALE)
+    save_result(result)
+    for row in result.rows:
+        workload, fits, p105, p110, p125, buf5, buf10 = row
+        if workload in STREAMING:
+            continue
+        # Once the prefetcher is off, on-demand 4KB transfers explode.
+        assert p110 > max(fits, 1) * 4
+        assert buf5 >= p110 * 0.5

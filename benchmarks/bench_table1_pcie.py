@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (PCI-e bandwidth vs transfer size)."""
+
+import pytest
+
+from repro import constants
+from repro.experiments import table1_pcie
+
+from conftest import run_once, save_result
+
+
+def test_table1_pcie_bandwidth(benchmark):
+    result = run_once(benchmark, table1_pcie.run)
+    save_result(result)
+    model = result.column("Model (GB/s)")
+    paper = result.column("Paper (GB/s)")
+    # The model reproduces every measured point and is monotone in size.
+    for got, want in zip(model, paper):
+        assert got == pytest.approx(want, rel=1e-6)
+    assert model == sorted(model)

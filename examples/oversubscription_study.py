@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Study how policy pairings behave as over-subscription grows.
+
+Sweeps the working-set-to-memory ratio for one workload across the four
+Figure 11 pairings plus 2 MB LRU eviction, printing a small matrix like the
+paper's Figures 6/11/13/15 rolled into one.
+
+Run:  python examples/oversubscription_study.py [workload] [scale]
+"""
+
+import sys
+
+from repro import UvmRuntime, make_workload, oversubscribed
+from repro.analysis.report import format_table
+from repro.experiments.common import COMBINATIONS
+
+PERCENTAGES = (None, 105.0, 110.0, 125.0, 150.0)
+
+SETTINGS = COMBINATIONS + [("TBNp+2MB LRU", "tbn", "lru2mb", True)]
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "srad"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    rows = []
+    for label, prefetcher, eviction, keep in SETTINGS:
+        row: list[object] = [label]
+        for percent in PERCENTAGES:
+            workload = make_workload(name, scale=scale)
+            if percent is None:
+                from repro import SimulatorConfig
+                config = SimulatorConfig(
+                    prefetcher=prefetcher, eviction=eviction,
+                )
+            else:
+                config = oversubscribed(
+                    workload.footprint_bytes, percent,
+                    prefetcher=prefetcher, eviction=eviction,
+                    disable_prefetch_on_oversubscription=not keep,
+                )
+            stats = UvmRuntime(config).run_workload(workload)
+            row.append(stats.total_kernel_time_ns / 1e6)
+        rows.append(row)
+    headers = ["pairing"] + ["fits" if p is None else f"{p:.0f}%"
+                             for p in PERCENTAGES]
+    workload = make_workload(name, scale=scale)
+    title = (f"{name} ({workload.footprint_bytes / 2**20:.1f} MB): kernel "
+             "time (ms) vs over-subscription")
+    print(format_table(headers, rows, title=title))
+
+
+if __name__ == "__main__":
+    main()

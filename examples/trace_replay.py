@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Export a workload's page-access trace and replay it.
+
+Traces make runs reproducible and shareable: the JSONL file records each
+kernel's per-warp (allocation, page offset, read/write) streams, so it can
+be replayed under any policy configuration — or hand-edited to build
+regression inputs.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SimulatorConfig, make_workload, run_workload
+from repro.workloads.trace import TraceWorkload, export_trace
+
+
+def main() -> None:
+    source = make_workload("bfs", scale=0.25)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bfs.jsonl"
+        kernels = export_trace(source, path)
+        size_kb = path.stat().st_size / 1024
+        print(f"exported {kernels} kernel launches to {path.name} "
+              f"({size_kb:.0f} KB)")
+
+        for prefetcher in ("none", "sequential-local", "tbn"):
+            replay = TraceWorkload(path)
+            stats = run_workload(
+                replay, SimulatorConfig(prefetcher=prefetcher)
+            )
+            print(f"  replay under {prefetcher:18s}: "
+                  f"{stats.total_kernel_time_ns / 1e6:8.3f} ms, "
+                  f"{stats.far_faults:5d} far-faults")
+
+    print("\nSame trace, three prefetchers: identical accesses, different "
+          "memory-system behaviour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""``cudaMemPrefetchAsync``: user-directed prefetching vs the hardware
+prefetcher.
+
+The paper's Section 3 notes that before hardware prefetchers, the only way
+to hide far-fault latency was the user-directed
+``cudaMemPrefetchAsync`` — "the responsibility of what to prefetch and
+when to prefetch still belongs to the programmer".  This example compares
+three ways to run a streaming scan:
+
+1. on-demand 4 KB paging (no prefetch at all),
+2. an explicit ``mem_prefetch_async`` of the whole buffer before launch,
+3. the TBNp hardware prefetcher with no user hints.
+
+Run:  python examples/user_directed_prefetch.py
+"""
+
+from repro import SimulatorConfig, UvmRuntime
+from repro.workloads.synthetic import StreamingWorkload
+
+
+def run_case(label: str, prefetcher: str, user_prefetch: bool) -> None:
+    workload = StreamingWorkload(pages=2048, iterations=4)
+    runtime = UvmRuntime(SimulatorConfig(prefetcher=prefetcher,
+                                         eviction="lru4k"))
+    for spec in workload.allocations():
+        runtime.malloc_managed(spec.name, spec.size_bytes)
+    if user_prefetch:
+        runtime.mem_prefetch_async("data")
+    from repro.workloads.base import AddressResolver
+    resolver = AddressResolver(runtime.simulator.allocator)
+    for kernel in workload.kernel_specs(resolver):
+        runtime.launch_kernel(kernel)
+    runtime.device_synchronize()
+    stats = runtime.stats
+    print(f"{label:38s} time={stats.total_kernel_time_ns / 1e6:8.3f} ms  "
+          f"faults={stats.far_faults:5d}  "
+          f"h2d bw={stats.h2d.average_bandwidth_gbps:5.2f} GB/s")
+
+
+def main() -> None:
+    print("streaming scan of an 8 MB managed buffer, 4 launches:\n")
+    run_case("on-demand 4KB paging", "none", user_prefetch=False)
+    run_case("cudaMemPrefetchAsync before launch", "none",
+             user_prefetch=True)
+    run_case("TBNp hardware prefetcher", "tbn", user_prefetch=False)
+    print("\nThe explicit prefetch eliminates faults entirely; TBNp gets "
+          "most of that benefit with no programmer involvement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table into results/ (and optionally at the
+headline scale used by EXPERIMENTS.md).
+
+Usage:
+    python scripts/regenerate_results.py [--scale 0.4] [--out results]
+    python scripts/regenerate_results.py --headline   # adds scale-1.0
+                                                      # fig11/13/15/16
+
+This is the one-command refresh for the numbers quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import EXPERIMENTS  # noqa: E402
+
+HEADLINE = ("fig11", "fig13", "fig15", "fig16")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument("--headline", action="store_true",
+                        help="also regenerate the scale-1.0 headline "
+                             "figures into <out>_s1/")
+    args = parser.parse_args()
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in sorted(EXPERIMENTS):
+        start = time.time()
+        result = EXPERIMENTS[name](args.scale)
+        (args.out / f"{name}.txt").write_text(result.to_table() + "\n")
+        print(f"{name:20s} {time.time() - start:6.1f}s")
+
+    if args.headline:
+        headline_dir = Path(str(args.out) + "_s1")
+        headline_dir.mkdir(parents=True, exist_ok=True)
+        for name in HEADLINE:
+            start = time.time()
+            result = EXPERIMENTS[name](1.0)
+            (headline_dir / f"{name}.txt").write_text(
+                result.to_table() + "\n"
+            )
+            print(f"{name:20s} (scale 1.0) {time.time() - start:6.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Result analysis: metrics, access-pattern capture, and report tables."""
+
+from .access_pattern import AccessPatternTrace, capture_access_pattern
+from .charts import grouped_bars, horizontal_bars
+from .metrics import geomean, geomean_speedup, normalize, speedup
+from .report import format_series, format_table
+from .timeline import TimelineSummary, occupancy_sparkline, summarize
+
+__all__ = [
+    "AccessPatternTrace",
+    "capture_access_pattern",
+    "grouped_bars",
+    "horizontal_bars",
+    "geomean",
+    "geomean_speedup",
+    "normalize",
+    "speedup",
+    "format_series",
+    "format_table",
+    "TimelineSummary",
+    "occupancy_sparkline",
+    "summarize",
+]

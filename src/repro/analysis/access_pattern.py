@@ -1,0 +1,95 @@
+"""Page access-pattern capture (Figure 12).
+
+The paper plots, for chosen nw iterations, the virtual page number of every
+access against the core cycle it happened in.  :func:`capture_access_pattern`
+runs a workload with the access trace enabled and extracts the per-iteration
+(time, page) scatter; :class:`AccessPatternTrace` offers the summary numbers
+the paper's discussion relies on (pages "spaced far apart", "accessed
+repeatedly over time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulatorConfig
+from ..runtime import UvmRuntime
+from ..workloads.base import Workload
+
+
+@dataclass
+class AccessPatternTrace:
+    """The (time, page) samples of one kernel-launch iteration."""
+
+    workload: str
+    iteration: int
+    #: (time_ns, global page index) samples in time order.
+    samples: list[tuple[float, int]]
+
+    @property
+    def distinct_pages(self) -> list[int]:
+        return sorted({page for _, page in self.samples})
+
+    @property
+    def page_span(self) -> int:
+        """Distance between lowest and highest page touched."""
+        pages = self.distinct_pages
+        return pages[-1] - pages[0] if pages else 0
+
+    @property
+    def mean_gap_pages(self) -> float:
+        """Mean gap between consecutive distinct pages — the "spaced far
+        apart in the virtual address space" measure."""
+        pages = self.distinct_pages
+        if len(pages) < 2:
+            return 0.0
+        gaps = [b - a for a, b in zip(pages, pages[1:])]
+        return sum(gaps) / len(gaps)
+
+    @property
+    def mean_touches_per_page(self) -> float:
+        """Average accesses per distinct page — the "accessed repeatedly
+        over time" measure."""
+        if not self.samples:
+            return 0.0
+        return len(self.samples) / len(self.distinct_pages)
+
+    def ascii_scatter(self, width: int = 72, height: int = 20) -> str:
+        """Render the scatter as ASCII art (time on x, page on y)."""
+        if not self.samples:
+            return "(no samples)"
+        times = [t for t, _ in self.samples]
+        pages = [p for _, p in self.samples]
+        t_lo, t_hi = min(times), max(times)
+        p_lo, p_hi = min(pages), max(pages)
+        t_span = max(t_hi - t_lo, 1e-9)
+        p_span = max(p_hi - p_lo, 1)
+        grid = [[" "] * width for _ in range(height)]
+        for t, p in self.samples:
+            x = min(width - 1, int((t - t_lo) / t_span * (width - 1)))
+            y = min(height - 1, int((p - p_lo) / p_span * (height - 1)))
+            grid[height - 1 - y][x] = "*"
+        header = (f"{self.workload} iteration {self.iteration}: "
+                  f"page {p_lo}..{p_hi} over {t_span / 1e3:.1f} us")
+        return "\n".join([header] + ["|" + "".join(row) + "|"
+                                     for row in grid])
+
+
+def capture_access_pattern(
+    workload: Workload, config: SimulatorConfig,
+    iterations: list[int],
+) -> list[AccessPatternTrace]:
+    """Run ``workload`` with tracing on and return the chosen iterations."""
+    traced_config = config.replace(record_access_trace=True)
+    stats = UvmRuntime(traced_config).run_workload(workload)
+    wanted = set(iterations)
+    by_iteration: dict[int, list[tuple[float, int]]] = {
+        it: [] for it in iterations
+    }
+    for time_ns, page, iteration in stats.access_trace:
+        if iteration in wanted:
+            by_iteration[iteration].append((time_ns, page))
+    return [
+        AccessPatternTrace(workload.name, it, by_iteration[it])
+        for it in iterations
+    ]

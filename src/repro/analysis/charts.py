@@ -1,0 +1,60 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are grouped bar charts (one group per workload, one bar
+per policy/setting).  :func:`grouped_bars` renders an
+:class:`~repro.experiments.common.ExperimentResult` in that style for
+terminals; it is what the CLI's ``--chart`` flag uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """One bar per (label, value), scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(value / peak * width)) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(result, width: int = 40, unit: str = "") -> str:
+    """Render an ExperimentResult as per-workload bar groups.
+
+    The first column is treated as the group label; the remaining numeric
+    columns become one bar each, normalized per the global maximum so
+    groups are visually comparable.
+    """
+    if not result.rows:
+        return "(no data)"
+    series = result.headers[1:]
+    numeric_rows = [[float(v) for v in row[1:]] for row in result.rows]
+    peak = max(v for row in numeric_rows for v in row)
+    series_width = max(len(s) for s in series)
+    lines = [f"{result.name}: {result.description}"]
+    for row, values in zip(result.rows, numeric_rows):
+        lines.append(f"{row[0]}:")
+        for name, value in zip(series, values):
+            filled = int(round(value / peak * width)) if peak > 0 else 0
+            lines.append(
+                f"  {name.ljust(series_width)} |{'#' * filled:<{width}}| "
+                f"{value:.3f}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Derived metrics used by the experiment tables."""
+
+from __future__ import annotations
+
+import math
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline-over-improved ratio: >1 means ``improved`` is faster."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper reports average speed-ups this way)."""
+    if not values:
+        raise ValueError("geomean of an empty list")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_speedup(baselines: list[float], improveds: list[float]) -> float:
+    """Geometric-mean speed-up across paired measurements."""
+    if len(baselines) != len(improveds):
+        raise ValueError("mismatched measurement lists")
+    return geomean([speedup(b, i) for b, i in zip(baselines, improveds)])
+
+
+def normalize(values: list[float], reference: float) -> list[float]:
+    """Values divided by a reference (for normalized bar charts)."""
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return [v / reference for v in values]

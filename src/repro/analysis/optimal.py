@@ -1,0 +1,102 @@
+"""Belady (MIN) lower bound on page misses for a recorded access trace.
+
+Given the page-reference string of a run (``stats.access_trace`` with
+``record_access_trace=True``) and a device capacity in pages, compute the
+miss count of the clairvoyant MIN policy: on a miss with full memory, evict
+the resident page whose next use is farthest in the future.
+
+This is the optimality yardstick for the Figure 9/10 comparisons: it says
+how much of LRU-vs-random's gap is policy slack versus compulsory traffic.
+Prefetching is out of scope — the bound treats every first touch as a
+compulsory miss — so it lower-bounds *migration count*, not kernel time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Belady simulation outcome for one reference string."""
+
+    accesses: int
+    distinct_pages: int
+    compulsory_misses: int
+    capacity_misses: int
+
+    @property
+    def total_misses(self) -> int:
+        return self.compulsory_misses + self.capacity_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.total_misses / self.accesses if self.accesses else 0.0
+
+
+def belady_misses(reference: list[int],
+                  capacity_pages: int) -> OptimalResult:
+    """Run MIN over ``reference`` with ``capacity_pages`` frames.
+
+    O(n log n): for each position the next use is precomputed; the
+    eviction candidate is popped from a lazy max-heap of (next_use, page).
+    """
+    if capacity_pages <= 0:
+        raise ValueError("capacity must be positive")
+    n = len(reference)
+    infinity = n + 1
+    next_use = [infinity] * n
+    last_seen: dict[int, int] = {}
+    for index in range(n - 1, -1, -1):
+        page = reference[index]
+        next_use[index] = last_seen.get(page, infinity)
+        last_seen[page] = index
+
+    resident: dict[int, int] = {}  # page -> its current next-use index
+    heap: list[tuple[int, int]] = []  # (-next_use, page), lazily stale
+    compulsory = 0
+    capacity_misses = 0
+    seen: set[int] = set()
+    for index, page in enumerate(reference):
+        upcoming = next_use[index]
+        if page in resident:
+            resident[page] = upcoming
+            heapq.heappush(heap, (-upcoming, page))
+            continue
+        if page in seen:
+            capacity_misses += 1
+        else:
+            compulsory += 1
+            seen.add(page)
+        if len(resident) >= capacity_pages:
+            # Pop until a non-stale entry surfaces.
+            while True:
+                neg_use, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg_use:
+                    break
+            del resident[victim]
+        resident[page] = upcoming
+        heapq.heappush(heap, (-upcoming, page))
+    return OptimalResult(
+        accesses=n,
+        distinct_pages=len(seen),
+        compulsory_misses=compulsory,
+        capacity_misses=capacity_misses,
+    )
+
+
+def optimality_gap(measured_migrations: int,
+                   optimal: OptimalResult) -> float:
+    """Measured migrations as a multiple of the Belady bound (>= 1.0 up
+    to simulator batching effects)."""
+    if optimal.total_misses == 0:
+        raise ValueError("reference string produced no misses")
+    return measured_migrations / optimal.total_misses
+
+
+def reference_from_trace(
+    access_trace: list[tuple[float, int, int]]
+) -> list[int]:
+    """Page reference string from a recorded ``stats.access_trace``."""
+    return [page for _, page, _ in access_trace]

@@ -1,0 +1,65 @@
+"""Residency-map rendering.
+
+:func:`render_residency` turns :meth:`Simulator.residency_map` output into
+a compact ASCII strip — one character per page (or per bucket of pages for
+large allocations) — making prefetch footprints and eviction holes visible
+at a glance:
+
+* ``#`` valid, ``~`` migration in flight, ``.`` not resident;
+* bucketed mode shows the dominant state of each bucket.
+"""
+
+from __future__ import annotations
+
+from ..memory.page import PageState
+
+_CHARS = {
+    PageState.VALID: "#",
+    PageState.MIGRATING: "~",
+    PageState.INVALID: ".",
+}
+
+
+def render_residency(states: list[PageState], width: int = 64) -> str:
+    """Render one allocation's page states, wrapped to ``width`` columns.
+
+    Allocations larger than ``width * 8`` pages are bucketed so the whole
+    map stays within eight rows; each bucket renders its dominant state
+    (ties break toward VALID, then MIGRATING).
+    """
+    if not states:
+        return "(empty allocation)"
+    max_cells = width * 8
+    if len(states) > max_cells:
+        states = _bucketize(states, max_cells)
+    chars = "".join(_CHARS[state] for state in states)
+    rows = [chars[i:i + width] for i in range(0, len(chars), width)]
+    return "\n".join(rows)
+
+
+def residency_fraction(states: list[PageState]) -> float:
+    """Fraction of pages currently VALID."""
+    if not states:
+        return 0.0
+    valid = sum(1 for state in states if state is PageState.VALID)
+    return valid / len(states)
+
+
+def _bucketize(states: list[PageState], buckets: int) -> list[PageState]:
+    size = -(-len(states) // buckets)
+    out: list[PageState] = []
+    for i in range(0, len(states), size):
+        chunk = states[i:i + size]
+        counts = {
+            PageState.VALID: 0,
+            PageState.MIGRATING: 0,
+            PageState.INVALID: 0,
+        }
+        for state in chunk:
+            counts[state] += 1
+        # Dominant state; ties prefer VALID then MIGRATING.
+        out.append(max(
+            (PageState.VALID, PageState.MIGRATING, PageState.INVALID),
+            key=lambda s: counts[s],
+        ))
+    return out

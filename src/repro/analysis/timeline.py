@@ -1,0 +1,75 @@
+"""Residency-timeline analysis.
+
+With ``SimulatorConfig(record_timeline=True)`` the driver records one
+``(time_ns, resident_pages, frames_used, prefetch_enabled)`` sample per
+fault-service batch.  These helpers summarize that series: when device
+memory filled up, when the prefetch gate closed, and an ASCII sparkline of
+occupancy over time — the visual counterpart of the paper's Section 4.2
+narrative ("TBNp is active before reaching device memory capacity; upon
+over-subscription the prefetcher is disabled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass
+class TimelineSummary:
+    """Key instants and extremes of one run's residency timeline."""
+
+    samples: int
+    peak_resident_pages: int
+    peak_frames_used: int
+    #: First sample time with the prefetcher disabled, or None.
+    prefetch_disabled_at_ns: float | None
+    #: First sample time at or above `capacity` frames used, or None.
+    filled_at_ns: float | None
+
+
+def summarize(timeline: list[tuple[float, int, int, bool]],
+              capacity_pages: int | None = None) -> TimelineSummary:
+    """Reduce a timeline to its landmark events."""
+    if not timeline:
+        return TimelineSummary(0, 0, 0, None, None)
+    peak_resident = max(sample[1] for sample in timeline)
+    peak_frames = max(sample[2] for sample in timeline)
+    disabled_at = next(
+        (time for time, _, _, enabled in timeline if not enabled), None
+    )
+    filled_at = None
+    if capacity_pages is not None:
+        filled_at = next(
+            (time for time, _, used, _ in timeline
+             if used >= capacity_pages), None
+        )
+    return TimelineSummary(len(timeline), peak_resident, peak_frames,
+                           disabled_at, filled_at)
+
+
+def occupancy_sparkline(timeline: list[tuple[float, int, int, bool]],
+                        capacity_pages: int, width: int = 60) -> str:
+    """Frames-used over time as a one-line ASCII sparkline.
+
+    Time is bucketed uniformly between the first and last sample; each
+    bucket shows the maximum occupancy observed in it.
+    """
+    if not timeline:
+        return "(no samples)"
+    if capacity_pages <= 0:
+        raise ValueError("capacity must be positive")
+    t_lo = timeline[0][0]
+    t_hi = timeline[-1][0]
+    span = max(t_hi - t_lo, 1e-9)
+    buckets = [0] * width
+    for time, _, used, _ in timeline:
+        index = min(width - 1, int((time - t_lo) / span * width))
+        buckets[index] = max(buckets[index], used)
+    top = len(SPARK_LEVELS) - 1
+    chars = []
+    for used in buckets:
+        level = min(top, int(used / capacity_pages * top))
+        chars.append(SPARK_LEVELS[level])
+    return "".join(chars)

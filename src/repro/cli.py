@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro run hotspot --prefetcher tbn --eviction tbn \
+        --oversubscription 110 --scale 0.5
+    python -m repro experiment fig11 --scale 0.4
+    python -m repro experiment all --out results/
+    python -m repro sweep srad --percents 105 110 125
+
+``run`` executes one workload under one setting and prints the counters;
+``experiment`` regenerates the paper's tables/figures; ``sweep`` is the
+over-subscription sensitivity matrix for one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.charts import grouped_bars
+from .analysis.report import format_table
+from .config import SimulatorConfig, oversubscribed
+from .core.evict import EVICTION_REGISTRY
+from .core.prefetch import PREFETCHER_REGISTRY
+from .experiments import (
+    ablations,
+    extension_adaptive,
+    extension_colocation,
+    fig2_microbench,
+    fig3_prefetch_time,
+    fig4_bandwidth,
+    fig5_farfaults,
+    fig6_oversub_sensitivity,
+    fig7_transfer_counts,
+    fig9_eviction,
+    fig10_evicted_pages,
+    fig11_combinations,
+    fig12_nw_pattern,
+    fig13_oversub_scaling,
+    fig14_reservation,
+    fig15_tbne_vs_2mb,
+    fig16_thrashing,
+    table1_pcie,
+)
+from .presets import PRESETS, preset_config
+from .runtime import UvmRuntime
+from .workloads.registry import SUITE_ORDER, WORKLOAD_REGISTRY, \
+    make_workload
+
+#: Experiment name -> zero-or-scale-argument runner.
+EXPERIMENTS = {
+    "table1": lambda scale: table1_pcie.run(),
+    "fig2": lambda scale: fig2_microbench.run(),
+    "fig3": lambda scale: fig3_prefetch_time.run(scale=scale),
+    "fig4": lambda scale: fig4_bandwidth.run(scale=scale),
+    "fig5": lambda scale: fig5_farfaults.run(scale=scale),
+    "fig6": lambda scale: fig6_oversub_sensitivity.run(scale=scale),
+    "fig7": lambda scale: fig7_transfer_counts.run(scale=scale),
+    "fig9": lambda scale: fig9_eviction.run(scale=scale),
+    "fig10": lambda scale: fig10_evicted_pages.run(scale=scale),
+    "fig11": lambda scale: fig11_combinations.run(scale=scale),
+    "fig12": lambda scale: fig12_nw_pattern.run(scale=scale),
+    "fig13": lambda scale: fig13_oversub_scaling.run(scale=scale),
+    "fig14": lambda scale: fig14_reservation.run(scale=scale),
+    "fig15": lambda scale: fig15_tbne_vs_2mb.run(scale=scale),
+    "fig16": lambda scale: fig16_thrashing.run(scale=scale),
+    "ablation-batching": lambda scale: ablations.run_fault_batching(
+        scale=scale),
+    "ablation-threshold": lambda scale: ablations.run_tbn_threshold(
+        scale=scale),
+    "ablation-lru": lambda scale: ablations.run_lru_insertion(scale=scale),
+    "ablation-walk": lambda scale: ablations.run_page_walk_model(
+        scale=scale),
+    "ablation-buffer": lambda scale: ablations.run_fault_buffer(
+        scale=scale),
+    "ablation-latency": lambda scale: ablations.run_fault_latency(
+        scale=scale),
+    "ext-adaptive": lambda scale: extension_adaptive.run(scale=scale),
+    "ext-colocation": lambda scale: extension_colocation.run(scale=scale),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UVM prefetcher/eviction interplay simulator "
+                    "(ISCA 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, policies, experiments")
+
+    run_p = sub.add_parser("run", help="run one workload")
+    run_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    run_p.add_argument("--scale", type=float, default=0.5)
+    run_p.add_argument("--prefetcher", default="tbn",
+                       choices=sorted(PREFETCHER_REGISTRY))
+    run_p.add_argument("--eviction", default="lru4k",
+                       choices=sorted(EVICTION_REGISTRY))
+    run_p.add_argument("--oversubscription", type=float, default=None,
+                       metavar="PERCENT",
+                       help="working set as %% of device memory")
+    run_p.add_argument("--keep-prefetching", action="store_true",
+                       help="do not disable the prefetcher under "
+                            "over-subscription")
+    run_p.add_argument("--reservation", type=float, default=0.0,
+                       help="LRU-head reservation fraction")
+    run_p.add_argument("--buffer", type=float, default=0.0,
+                       help="free-page buffer fraction")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--preset", default=None,
+                       choices=sorted(PRESETS),
+                       help="named paper setting; overrides the policy "
+                            "and memory flags")
+    run_p.add_argument("--config-file", type=Path, default=None,
+                       help="JSON file of SimulatorConfig fields; its "
+                            "values override the policy flags")
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    exp_p.add_argument("--scale", type=float, default=0.4)
+    exp_p.add_argument("--chart", action="store_true",
+                       help="also render an ASCII bar chart")
+    exp_p.add_argument("--out", type=Path, default=None,
+                       help="directory to write tables into")
+
+    sweep_p = sub.add_parser("sweep",
+                             help="over-subscription sweep for a workload")
+    sweep_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    sweep_p.add_argument("--scale", type=float, default=0.5)
+    sweep_p.add_argument("--percents", type=float, nargs="+",
+                         default=[105.0, 110.0, 125.0])
+    sweep_p.add_argument("--prefetcher", default="tbn",
+                         choices=sorted(PREFETCHER_REGISTRY))
+    sweep_p.add_argument("--eviction", default="tbn",
+                         choices=sorted(EVICTION_REGISTRY))
+
+    val_p = sub.add_parser("validate",
+                           help="check the paper's claims against "
+                                "measured results")
+    val_p.add_argument("--scale", type=float, default=0.3)
+
+    cmp_p = sub.add_parser("compare",
+                           help="run one workload under two presets "
+                                "side by side")
+    cmp_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    cmp_p.add_argument("preset_a", choices=sorted(PRESETS))
+    cmp_p.add_argument("preset_b", choices=sorted(PRESETS))
+    cmp_p.add_argument("--scale", type=float, default=0.5)
+    return parser
+
+
+def cmd_list() -> int:
+    print("workloads :", ", ".join(SUITE_ORDER))
+    print("prefetch  :", ", ".join(sorted(PREFETCHER_REGISTRY)))
+    print("eviction  :", ", ".join(sorted(EVICTION_REGISTRY)))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)), "+ all")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, scale=args.scale)
+    if args.preset is not None:
+        config = preset_config(args.preset, workload)
+        stats = UvmRuntime(config).run_workload(workload)
+        print(f"{workload.name} under preset {args.preset!r}")
+        rows = [[key, value] for key, value in stats.as_dict().items()]
+        print(format_table(["counter", "value"], rows))
+        return 0
+    common = dict(
+        prefetcher=args.prefetcher,
+        eviction=args.eviction,
+        disable_prefetch_on_oversubscription=not args.keep_prefetching,
+        lru_reservation_fraction=args.reservation,
+        free_page_buffer_fraction=args.buffer,
+        seed=args.seed,
+    )
+    if args.config_file is not None:
+        import json
+        file_fields = json.loads(args.config_file.read_text())
+        if not isinstance(file_fields, dict):
+            raise SystemExit("--config-file must contain a JSON object")
+        # The file is the explicit artifact: its values win.
+        common.update(file_fields)
+    if args.oversubscription is None:
+        config = SimulatorConfig(**common)
+    else:
+        config = oversubscribed(workload.footprint_bytes,
+                                args.oversubscription, **common)
+    stats = UvmRuntime(config).run_workload(workload)
+    print(f"{workload.name}: {workload.footprint_bytes / 2**20:.1f} MB "
+          f"working set, prefetcher={config.prefetcher}, "
+          f"eviction={config.eviction}")
+    rows = [[key, value] for key, value in stats.as_dict().items()]
+    print(format_table(["counter", "value"], rows))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        result = EXPERIMENTS[name](args.scale)
+        print(result.to_table())
+        if args.chart:
+            print()
+            print(grouped_bars(result))
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(result.to_table() + "\n")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for percent in args.percents:
+        workload = make_workload(args.workload, scale=args.scale)
+        config = oversubscribed(
+            workload.footprint_bytes, percent,
+            prefetcher=args.prefetcher, eviction=args.eviction,
+            disable_prefetch_on_oversubscription=False,
+        )
+        stats = UvmRuntime(config).run_workload(workload)
+        rows.append([f"{percent:.0f}%",
+                     stats.total_kernel_time_ns / 1e6,
+                     stats.far_faults, stats.pages_evicted,
+                     stats.pages_thrashed])
+    print(format_table(
+        ["oversub", "time (ms)", "faults", "evicted", "thrashed"], rows,
+        title=f"{args.workload} sweep ({args.prefetcher}+{args.eviction})",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    columns = {}
+    for preset_name in (args.preset_a, args.preset_b):
+        workload = make_workload(args.workload, scale=args.scale)
+        config = preset_config(preset_name, workload)
+        stats = UvmRuntime(config).run_workload(workload)
+        columns[preset_name] = stats.as_dict()
+    counters = list(columns[args.preset_a])
+    rows = []
+    for counter in counters:
+        a = columns[args.preset_a][counter]
+        b = columns[args.preset_b][counter]
+        ratio = (a / b) if b else float("inf") if a else 1.0
+        rows.append([counter, a, b, f"{ratio:.2f}x"])
+    print(format_table(
+        ["counter", args.preset_a, args.preset_b, "A/B"], rows,
+        title=f"{args.workload} (scale {args.scale})",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "validate":
+        from .validation import format_report, validate_claims
+        checks = validate_claims(scale=args.scale)
+        print(format_report(checks))
+        return 0 if all(c.passed for c in checks) else 1
+    if args.command == "compare":
+        return cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

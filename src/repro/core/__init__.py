@@ -1,0 +1,19 @@
+"""Core UVM machinery: the GMMU, the host driver, the discrete-event
+engine, and the prefetch/eviction policy families."""
+
+from .context import UvmContext
+from .driver import UvmDriver
+from .engine import Simulator
+from .events import EventQueue
+from .plans import EvictionPlan, EvictionUnit, MigrationPlan, TransferGroup
+
+__all__ = [
+    "UvmContext",
+    "UvmDriver",
+    "Simulator",
+    "EventQueue",
+    "EvictionPlan",
+    "EvictionUnit",
+    "MigrationPlan",
+    "TransferGroup",
+]

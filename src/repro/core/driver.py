@@ -1,0 +1,385 @@
+"""The host-resident UVM driver.
+
+Far-faults "are resolved by the software runtime resident to the host
+processor" (Section 1).  This class models that runtime:
+
+* faults are serviced in **batches** (the replayable-fault model of Zheng et
+  al.): a batch pays the 45 us handling latency once, and faults arriving
+  while a batch is being handled queue up for the next one — so total
+  handling time still scales with the number of far-faults;
+* the active **prefetcher** expands each batch into transfer groups; once
+  device memory first fills, the prefetcher is disabled if the configuration
+  says so (Section 4.2 behaviour — pre-eviction combos keep it on);
+* frame shortage invokes the **eviction policy**; write-backs ride the PCI-e
+  write channel and frames only free when they complete, so migrations that
+  must wait for frames stall — the over-subscription penalty;
+* an optional **free-page buffer** (Section 4.2) pre-evicts above an
+  occupancy threshold and disables the prefetcher early, reproducing the
+  paper's negative result for memory-threshold pre-eviction.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..errors import SimulationError
+from ..interconnect.pcie import PcieLink
+from ..memory.mshr import FarFaultMSHR
+from .context import UvmContext
+from .evict.base import EvictionPolicy
+from .plans import MigrationPlan, TransferGroup
+from .prefetch.base import Prefetcher
+from .prefetch.none import OnDemandPrefetcher
+
+
+class UvmDriver:
+    """Fault servicing, migration, prefetch gating, and eviction."""
+
+    def __init__(self, ctx: UvmContext, link: PcieLink, mshr: FarFaultMSHR,
+                 prefetcher: Prefetcher, eviction: EvictionPolicy) -> None:
+        self.ctx = ctx
+        self.link = link
+        self.mshr = mshr
+        self.prefetcher = prefetcher
+        self.eviction = eviction
+        #: Set by the engine right after construction.
+        self.engine = None
+        self._fallback = OnDemandPrefetcher()
+        self._pending: list[int] = []
+        self._busy = False
+        self.prefetch_enabled = True
+
+    # ------------------------------------------------------------------ faults
+    def on_new_fault(self, page: int, now_ns: float) -> None:
+        """A new far-fault was registered in the MSHRs (Figure 1, step 3)."""
+        self.ctx.stats.far_faults += 1
+        self.ctx.stats.allocation(
+            self.ctx.allocation_name_of_page(page)
+        ).far_faults += 1
+        self._pending.append(page)
+        if not self._busy:
+            self._busy = True
+            self.engine.schedule(now_ns, self._service)
+
+    def _service(self, now_ns: float) -> None:
+        """Drain the pending faults as one batch and handle it."""
+        config = self.ctx.config
+        stats = self.ctx.stats
+        page_table = self.ctx.page_table
+        limit = config.fault_batch_limit
+        if limit and len(self._pending) > limit:
+            # Finite fault buffer: drain at most `limit` faults; the rest
+            # wait for the next service round.
+            drained = self._pending[:limit]
+            self._pending = self._pending[limit:]
+        else:
+            drained = self._pending
+            self._pending = []
+        batch = [
+            page for page in drained
+            if not page_table.is_valid(page)
+            and not self._migration_in_flight(page)
+        ]
+        if not batch:
+            if self._pending:
+                self._service(now_ns)
+            else:
+                self._busy = False
+            return
+        stats.fault_batches += 1
+        if config.record_timeline:
+            stats.timeline.append((
+                now_ns,
+                page_table.valid_count,
+                self.ctx.frames.used,
+                self.prefetch_enabled,
+            ))
+        if config.batch_fault_handling:
+            handling_ns = config.fault_handling_latency_ns
+        else:
+            handling_ns = config.fault_handling_latency_ns * len(batch)
+        stats.total_fault_handling_ns += handling_ns
+        handled_at = now_ns + handling_ns
+
+        self._update_prefetch_gate(len(batch))
+        active = self.prefetcher if self.prefetch_enabled else self._fallback
+        plan = active.plan(batch, self.ctx)
+        self._make_room_and_trim(plan, now_ns)
+        self._execute_migration(plan, now_ns=now_ns,
+                                batch_start_ns=now_ns,
+                                batched_handling=config.batch_fault_handling)
+        self.engine.schedule(handled_at, self._handling_done)
+
+    def _migration_in_flight(self, page: int) -> bool:
+        """True when the page is MIGRATING (transfer already scheduled)."""
+        from ..memory.page import PageState
+        return self.ctx.page_table.state_of(page) is PageState.MIGRATING
+
+    def _handling_done(self, now_ns: float) -> None:
+        """The batch's 45 us handling window closed; start the next batch."""
+        self._maybe_threshold_preevict(now_ns)
+        if self._pending:
+            self._service(now_ns)
+        else:
+            self._busy = False
+
+    # -------------------------------------------------------------- prefetch gate
+    def _update_prefetch_gate(self, incoming_pages: int) -> None:
+        """Disable the prefetcher per the over-subscription rules."""
+        config = self.ctx.config
+        frames = self.ctx.frames
+        if not self.prefetch_enabled or frames.unbounded:
+            return
+        threshold = frames.capacity
+        if config.free_page_buffer_fraction > 0.0:
+            # Maintain the free-page buffer: the prefetcher is turned off
+            # *before* reaching capacity (Section 4.2).
+            threshold = int(
+                frames.capacity * (1.0 - config.free_page_buffer_fraction)
+            )
+        elif not config.disable_prefetch_on_oversubscription:
+            return
+        if frames.used + incoming_pages >= threshold:
+            self.prefetch_enabled = False
+
+    # ------------------------------------------------------------------ migration
+    def _make_room_and_trim(self, plan: MigrationPlan,
+                            now_ns: float) -> None:
+        """Evict to make room for the plan; drop what still cannot fit.
+
+        The eviction policy is asked to free enough frames for the whole
+        plan — "pre-evicting contiguous pages in bulk the way they were
+        brought in by the prefetcher allows further prefetching under
+        memory constraint" (Section 1).  If the policy cannot free enough
+        (e.g. everything else is already in flight), prefetch-only groups
+        are dropped; fault pages are always kept, and a configuration whose
+        capacity cannot even hold one batch's faulted pages is rejected.
+        """
+        frames = self.ctx.frames
+        if frames.unbounded:
+            return
+        demand = sum(len(g.pages) for g in plan.groups if g.has_fault)
+        available = frames.free_now + frames.pending_release
+        if plan.total_pages > available:
+            self._evict(plan.total_pages - available, now_ns)
+            available = frames.free_now + frames.pending_release
+        if demand > available:
+            raise SimulationError(
+                f"device memory cannot hold the {demand} faulted pages of "
+                f"one batch (only {available} obtainable)"
+            )
+        budget = available - demand
+        kept: list[TransferGroup] = []
+        dropped_pages: list[int] = []
+        for group in plan.ordered_groups():
+            if group.has_fault:
+                kept.append(group)
+            elif len(group.pages) <= budget:
+                kept.append(group)
+                budget -= len(group.pages)
+            else:
+                dropped_pages.extend(group.pages)
+        if dropped_pages and plan.trees_preadjusted:
+            # The tree-based prefetcher counted the dropped pages as
+            # to-be-valid; credit them back.
+            self.ctx.adjust_trees_for_pages(dropped_pages, -1)
+        plan.groups = kept
+
+    def _execute_migration(self, plan: MigrationPlan, now_ns: float,
+                           batch_start_ns: float, batched_handling: bool,
+                           handling_latency_ns: float | None = None) -> None:
+        """Mark pages in flight and schedule the transfers.
+
+        Fault handling is pipelined with the transfers: with serialized
+        handling (the default), the k-th faulted page's transfer may start
+        only after k handling latencies have elapsed since the batch began;
+        with batched handling every transfer waits for one latency.
+        """
+        ctx = self.ctx
+        config = ctx.config
+        page_size = config.page_size
+        all_pages = plan.all_pages()
+        for page in all_pages:
+            ctx.page_table.begin_migration(page)
+            if not self.mshr.outstanding(page):
+                self.mshr.register(page, None, now_ns)
+        if not plan.trees_preadjusted:
+            ctx.adjust_trees_for_pages(all_pages, +1)
+
+        frames = ctx.frames
+        latency = handling_latency_ns if handling_latency_ns is not None \
+            else config.fault_handling_latency_ns
+        faults_handled = 0
+        for group in plan.ordered_groups():
+            if batched_handling or not group.has_fault:
+                handled_at = batch_start_ns + latency
+            else:
+                faults_handled += len(group.fault_pages)
+                handled_at = batch_start_ns + latency * faults_handled
+            frames_ready = frames.allocate(len(group.pages), now_ns)
+            if frames_ready > handled_at:
+                ctx.stats.eviction_stall_ns += frames_ready - handled_at
+            start_floor = max(handled_at, frames_ready)
+            transfer = self.link.migrate(
+                len(group.pages) * page_size, start_floor
+            )
+            self.engine.schedule(
+                transfer.end_ns, partial(self._complete_group, group)
+            )
+
+    def _complete_group(self, group: TransferGroup, now_ns: float) -> None:
+        """A migration transfer arrived: validate pages and wake warps."""
+        ctx = self.ctx
+        stats = ctx.stats
+        waiters: list[object] = []
+        for page in group.pages:
+            pte = ctx.page_table.complete_migration(page, now_ns)
+            per_alloc = stats.allocation(
+                ctx.allocation_name_of_page(page)
+            )
+            stats.pages_migrated += 1
+            per_alloc.pages_migrated += 1
+            if pte.migration_count > 1:
+                stats.pages_thrashed += 1
+                per_alloc.pages_thrashed += 1
+            if page not in group.fault_pages:
+                stats.pages_prefetched += 1
+                per_alloc.pages_prefetched += 1
+            self.eviction.on_validated(page, ctx)
+            waiters.extend(self.mshr.complete(page))
+        if waiters:
+            self.engine.wake_warps(waiters, now_ns)
+
+    # ------------------------------------------------------------------ eviction
+    def _evict(self, n_pages: int, now_ns: float) -> int:
+        """Invoke the eviction policy and execute its plan.
+
+        Returns the number of pages actually freed (pre-eviction policies
+        routinely free more than asked).
+        """
+        ctx = self.ctx
+        stats = ctx.stats
+        page_size = ctx.config.page_size
+        plan = self.eviction.plan_eviction(n_pages, ctx)
+        if not plan.units:
+            return 0
+        stats.eviction_events += 1
+        if not plan.trees_preadjusted:
+            ctx.adjust_trees_for_pages(plan.all_pages(), -1)
+        freed = 0
+        for unit in plan.units:
+            dirty = set(ctx.page_table.dirty_pages(unit.pages))
+            for page in unit.pages:
+                ctx.page_table.invalidate(page)
+                self.engine.tlb_shootdown(page)
+                stats.allocation(
+                    ctx.allocation_name_of_page(page)
+                ).pages_evicted += 1
+            stats.pages_evicted += len(unit.pages)
+            freed += len(unit.pages)
+            if unit.unit_writeback:
+                # SLe/TBNe/2MB: the whole unit goes back as one transfer,
+                # clean or dirty (Section 5.1).
+                transfer = self.link.write_back(
+                    len(unit.pages) * page_size, now_ns
+                )
+                ctx.frames.release(len(unit.pages), transfer.end_ns)
+                stats.pages_written_back += len(unit.pages)
+            else:
+                clean = len(unit.pages) - len(dirty)
+                if clean:
+                    ctx.frames.release(clean, now_ns)
+                    stats.pages_dropped_clean += clean
+                for page in sorted(dirty):
+                    transfer = self.link.write_back(page_size, now_ns)
+                    ctx.frames.release(1, transfer.end_ns)
+                stats.pages_written_back += len(dirty)
+        return freed
+
+    def _maybe_threshold_preevict(self, now_ns: float) -> None:
+        """Keep the configured free-page buffer stocked (Section 4.2)."""
+        config = self.ctx.config
+        frames = self.ctx.frames
+        if config.free_page_buffer_fraction <= 0.0 or frames.unbounded:
+            return
+        target_free = int(frames.capacity * config.free_page_buffer_fraction)
+        shortfall = target_free - (frames.free_now + frames.pending_release)
+        if shortfall > 0:
+            self._evict(shortfall, now_ns)
+
+    # ------------------------------------------------------------ host accesses
+    def host_access_range(self, pages: list[int], now_ns: float,
+                          is_write: bool) -> None:
+        """The CPU touched managed pages (UVM is bidirectional).
+
+        Device-resident pages migrate back to the host: dirty data is
+        written back over the PCI-e write channel (contiguous runs grouped
+        into single transfers), the PTEs are invalidated, and the GPU's
+        TLBs are shot down.  Pages with migrations in flight are left to
+        complete first (the next host access would then migrate them; for
+        the timing model it is enough to skip them here).
+
+        Host writes additionally mean the next GPU access must re-migrate
+        fresh data — which it does anyway via the far-fault path, so no
+        extra state is needed beyond the invalidation.
+        """
+        from ..memory.page import PageState
+        from ..memory.addressing import contiguous_runs
+
+        ctx = self.ctx
+        page_size = ctx.config.page_size
+        stats = ctx.stats
+        resident = [p for p in pages if ctx.page_table.is_valid(p)]
+        if not resident:
+            return
+        dirty = set(ctx.page_table.dirty_pages(resident))
+        for page in resident:
+            ctx.page_table.invalidate(page)
+            self.engine.tlb_shootdown(page)
+            self.eviction.on_invalidated_externally(page, ctx)
+            stats.allocation(
+                ctx.allocation_name_of_page(page)
+            ).pages_evicted += 1
+        ctx.adjust_trees_for_pages(resident, -1)
+        stats.pages_evicted += len(resident)
+        # Dirty data rides the write channel in contiguous runs (frames
+        # free when the transfer lands); clean pages drop immediately (the
+        # host copy is current).
+        for start, count in contiguous_runs(sorted(dirty)):
+            transfer = self.link.write_back(count * page_size, now_ns)
+            ctx.frames.release(count, transfer.end_ns)
+            stats.pages_written_back += count
+        clean = len(resident) - len(dirty)
+        if clean:
+            stats.pages_dropped_clean += clean
+            ctx.frames.release(clean, now_ns)
+
+    # -------------------------------------------------------------- user prefetch
+    def prefetch_range(self, pages: list[int], now_ns: float) -> None:
+        """``cudaMemPrefetchAsync``: migrate a user-specified range.
+
+        Pages already valid or in flight are skipped; the rest move in
+        large-page-sized contiguous transfers with no fault handling
+        latency.  Under memory pressure the eviction policy makes room, as
+        for any other migration; whatever still cannot fit is skipped.
+        """
+        from ..memory.page import PageState
+        from .plans import split_runs_at_faults
+
+        page_table = self.ctx.page_table
+        todo = [p for p in pages
+                if page_table.state_of(p) is PageState.INVALID]
+        if not todo:
+            return
+        groups: list[TransferGroup] = []
+        pages_per_lp = self.ctx.space.pages_per_large_page
+        for group in split_runs_at_faults(todo, set()):
+            # Cap single transfers at one large page.
+            run = group.pages
+            for i in range(0, len(run), pages_per_lp):
+                groups.append(TransferGroup(run[i:i + pages_per_lp]))
+        plan = MigrationPlan(groups=groups)
+        self._make_room_and_trim(plan, now_ns)
+        self._execute_migration(plan, now_ns=now_ns, batch_start_ns=now_ns,
+                                batched_handling=True,
+                                handling_latency_ns=0.0)

@@ -1,0 +1,264 @@
+"""The discrete-event UVM simulator.
+
+:class:`Simulator` wires the GPU model (SMs, warps, TLBs), the GMMU, the
+host driver, the PCI-e link, and the policies together, and exposes the
+runtime-facing operations: ``malloc_managed``, ``prefetch_async``,
+``launch_kernel``, ``synchronize``.
+
+Execution model: each SM issues coalesced accesses from its READY warps
+round-robin, one per ``cycles_per_access`` core cycles.  TLB hits cost one
+lookup; misses add the 100-cycle page-table walk; far-faults block the warp
+until the driver migrates the page, while sibling warps keep issuing (TLP
+latency hiding).  Warps re-execute the faulted access on wake-up (the
+replayable-fault model).
+"""
+
+from __future__ import annotations
+
+from .. import constants
+from ..config import SimulatorConfig
+from ..errors import SimulationError
+from ..gpu.kernel import KernelSpec
+from ..gpu.l2cache import L2Cache
+from ..gpu.sm import StreamingMultiprocessor
+from ..gpu.tb_scheduler import ThreadBlockScheduler
+from ..interconnect.bandwidth import BandwidthModel
+from ..interconnect.pcie import PcieLink
+from ..memory.addressing import AddressSpace
+from ..memory.allocation import ManagedAllocation
+from ..memory.allocator import ManagedAllocator
+from ..memory.frames import FramePool
+from ..memory.mshr import FarFaultMSHR
+from ..memory.page_table import GpuPageTable
+from ..memory.radix_walker import make_walker
+from ..stats import SimStats
+from .context import UvmContext
+from .driver import UvmDriver
+from .events import EventQueue
+from .evict.base import make_eviction_policy
+from .gmmu import Gmmu
+from .prefetch.base import make_prefetcher
+
+
+class Simulator:
+    """One simulated GPU + host runtime instance."""
+
+    #: Accesses an SM may retire per step event (keeps the event heap small
+    #: without reordering anything that matters: the window is tens of ns
+    #: against 45 us fault latencies).
+    SM_QUANTUM = 64
+
+    def __init__(self, config: SimulatorConfig) -> None:
+        self.config = config
+        self.space = AddressSpace(config.page_size, config.basic_block_size,
+                                  config.large_page_size)
+        self.stats = SimStats()
+        self.allocator = ManagedAllocator(self.space)
+        self.page_table = GpuPageTable(self.space,
+                                       config.page_table_walk_cycles)
+        self.frames = FramePool(config.device_memory_pages)
+        self.ctx = UvmContext(config, self.space, self.allocator,
+                              self.page_table, self.frames, self.stats)
+        self.link = PcieLink(BandwidthModel(config.pcie_calibration),
+                             self.stats.h2d, self.stats.d2h)
+        self.mshr = FarFaultMSHR(config.mshr_entries)
+        self.driver = UvmDriver(self.ctx, self.link, self.mshr,
+                                make_prefetcher(config.prefetcher),
+                                make_eviction_policy(config.eviction))
+        self.driver.engine = self
+        self.gmmu = Gmmu(self.ctx, self.mshr, self.driver)
+        self.walker = make_walker(config.page_walk_model,
+                                  config.page_table_walk_cycles,
+                                  config.radix_cycles_per_level,
+                                  config.pwc_entries)
+        self.l2 = L2Cache(config.l2_capacity_pages, config.l2_ways) \
+            if config.l2_enabled else None
+        self.sms = [StreamingMultiprocessor(i, config.tlb_entries)
+                    for i in range(config.num_sms)]
+        self.scheduler = ThreadBlockScheduler(
+            self.sms, config.max_thread_blocks_per_sm
+        )
+        self.events = EventQueue()
+        self.now = 0.0
+        self.current_iteration = 0
+        self._ns_per_cycle = constants.NS_PER_CYCLE
+        self._kernel_done = True
+        self._kernel_end = 0.0
+
+    # ------------------------------------------------------------- runtime API
+    def malloc_managed(self, name: str, size_bytes: int) -> ManagedAllocation:
+        """``cudaMallocManaged``: reserve unified VA; no physical memory."""
+        return self.allocator.malloc_managed(name, size_bytes)
+
+    def prefetch_async(self, name: str, first_page: int = 0,
+                       num_pages: int | None = None) -> None:
+        """``cudaMemPrefetchAsync`` over a page range of an allocation."""
+        alloc = self.allocator.get(name)
+        if num_pages is None:
+            num_pages = alloc.num_pages - first_page
+        base = alloc.page_range[0] + first_page
+        self.driver.prefetch_range(list(range(base, base + num_pages)),
+                                   self.now)
+
+    def cpu_access(self, name: str, first_page: int = 0,
+                   num_pages: int | None = None,
+                   is_write: bool = False) -> None:
+        """A host-side access to a managed range (UVM is bidirectional).
+
+        Device-resident pages of the range migrate back to the host —
+        write-back + invalidation — so the next GPU touch far-faults
+        again.  This is what happens when host code reads results between
+        kernel launches through a managed pointer.
+        """
+        alloc = self.allocator.get(name)
+        if num_pages is None:
+            num_pages = alloc.num_pages - first_page
+        base = alloc.page_range[0] + first_page
+        self.driver.host_access_range(
+            list(range(base, base + num_pages)), self.now, is_write
+        )
+
+    def launch_kernel(self, kernel: KernelSpec) -> float:
+        """Run one kernel to completion; returns its duration in ns."""
+        if not self._kernel_done:
+            raise SimulationError("previous kernel still in flight")
+        self.current_iteration = kernel.iteration
+        kernel_start = self.now
+        for sm in self.sms:
+            sm.time_ns = max(sm.time_ns, kernel_start)
+        self._kernel_done = False
+        self._kernel_end = kernel_start
+        for sm in self.scheduler.launch(kernel):
+            self._schedule_sm(sm, sm.time_ns)
+        while not self._kernel_done:
+            if not self.events:
+                raise SimulationError(
+                    f"kernel {kernel.name!r} deadlocked: no events pending "
+                    "but thread blocks remain"
+                )
+            self.now, callback = self.events.pop()
+            callback(self.now)
+        self.now = max(self.now, self._kernel_end)
+        duration = self._kernel_end - kernel_start
+        self.stats.kernel_times_ns.append(duration)
+        return duration
+
+    def synchronize(self) -> None:
+        """``cudaDeviceSynchronize``: drain every in-flight event."""
+        while self.events:
+            self.now, callback = self.events.pop()
+            callback(self.now)
+        self.frames.settle(self.now)
+
+    # ------------------------------------------------------------ driver hooks
+    def schedule(self, time_ns: float, callback) -> None:
+        """Queue a driver event."""
+        self.events.push(time_ns, callback)
+
+    def wake_warps(self, waiters: list, now_ns: float) -> None:
+        """Unblock warps whose page arrived and kick their SMs."""
+        kicked: set[StreamingMultiprocessor] = set()
+        for warp in waiters:
+            warp.wake()
+            kicked.add(warp.sm)
+        for sm in kicked:
+            sm.time_ns = max(sm.time_ns, now_ns)
+            self._schedule_sm(sm, sm.time_ns)
+
+    def tlb_shootdown(self, page: int) -> None:
+        """Invalidate a page's translation (all SMs) and its L2 lines."""
+        for sm in self.sms:
+            sm.tlb.invalidate(page)
+        if self.l2 is not None:
+            self.l2.invalidate(page)
+
+    # ---------------------------------------------------------------- SM engine
+    def _schedule_sm(self, sm: StreamingMultiprocessor,
+                     time_ns: float) -> None:
+        if sm.scheduled:
+            return
+        sm.scheduled = True
+        self.events.push(time_ns, lambda now, sm=sm: self._sm_step(sm, now))
+
+    def _sm_step(self, sm: StreamingMultiprocessor, now_ns: float) -> None:
+        """Issue up to SM_QUANTUM accesses from this SM's ready warps."""
+        sm.scheduled = False
+        sm.time_ns = max(sm.time_ns, now_ns)
+        config = self.config
+        stats = self.stats
+        trace = config.record_access_trace
+        access_ns = config.cycles_per_access * self._ns_per_cycle
+        ns_per_cycle = self._ns_per_cycle
+        walker = self.walker
+        page_table = self.page_table
+        eviction = self.driver.eviction
+
+        for _ in range(self.SM_QUANTUM):
+            warp = sm.next_ready_warp()
+            if warp is None:
+                break
+            page, is_write = warp.current_access()
+            if sm.tlb.lookup(page):
+                stats.tlb_hits += 1
+                sm.time_ns += access_ns
+                if self.l2 is not None and not self.l2.access(page):
+                    sm.time_ns += (config.l2_miss_cycles
+                                   * self._ns_per_cycle)
+            else:
+                stats.tlb_misses += 1
+                walk_ns = walker.walk_cycles(page) * ns_per_cycle
+                sm.time_ns += access_ns + walk_ns
+                if not self.gmmu.handle_tlb_miss(sm, warp, page, sm.time_ns):
+                    warp.block_on(page)
+                    continue
+                if self.l2 is not None and not self.l2.access(page):
+                    sm.time_ns += (config.l2_miss_cycles
+                                   * self._ns_per_cycle)
+            page_table.mark_access(page, sm.time_ns, is_write)
+            eviction.on_accessed(page, self.ctx)
+            if trace:
+                stats.access_trace.append(
+                    (sm.time_ns, page, self.current_iteration)
+                )
+            warp.advance()
+
+        finished = sm.reap_finished_blocks()
+        if finished:
+            self._kernel_end = max(self._kernel_end, sm.time_ns)
+            self.scheduler.on_blocks_finished(sm, finished)
+            if self.scheduler.kernel_done:
+                self._kernel_done = True
+        if sm.next_ready_warp() is not None:
+            self._schedule_sm(sm, sm.time_ns)
+
+    # ---------------------------------------------------------------- inspection
+    def residency_map(self, allocation_name: str) -> list:
+        """Per-page :class:`~repro.memory.page.PageState` of an allocation.
+
+        Ordered by page offset; useful to visualize what the prefetcher
+        pulled in and what eviction removed (see
+        ``repro.analysis.residency``).
+        """
+        alloc = self.allocator.get(allocation_name)
+        return [self.page_table.state_of(page)
+                for page in alloc.page_range]
+
+    # ---------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Cross-component consistency (used by tests after runs)."""
+        from ..memory.page import PageState
+
+        valid = self.page_table.valid_count
+        if not self.frames.unbounded:
+            self.frames.check_conservation()
+        in_flight = sum(
+            1 for page in self.mshr.pages()
+            if self.page_table.state_of(page) is PageState.MIGRATING
+        )
+        if self.frames.used != valid + in_flight:
+            raise SimulationError(
+                f"frames.used={self.frames.used} != valid pages {valid} + "
+                f"in-flight {in_flight}"
+            )
+        for tree in self.ctx.all_trees():
+            tree.check_consistency()

@@ -1,0 +1,47 @@
+"""Discrete-event queue.
+
+Events are ``(time_ns, sequence, callback)`` triples in a binary heap; the
+sequence number makes ordering of simultaneous events deterministic
+(insertion order), which keeps whole simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """Min-heap of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def push(self, time_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at ``time_ns``."""
+        if time_ns < 0:
+            raise SimulationError(f"event scheduled at negative time "
+                                  f"{time_ns}")
+        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Callable[[], None]]:
+        """Remove and return the earliest (time, callback)."""
+        if not self._heap:
+            raise SimulationError("popping from an empty event queue")
+        time_ns, _, callback = heapq.heappop(self._heap)
+        return time_ns, callback
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> float | None:
+        """Timestamp of the earliest event, or None when empty."""
+        return self._heap[0][0] if self._heap else None

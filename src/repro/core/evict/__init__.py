@@ -1,0 +1,21 @@
+"""Eviction and pre-eviction policies (Sections 4.2 and 5)."""
+
+from .adaptive import AdaptivePreEviction
+from .base import EvictionPolicy, make_eviction_policy, EVICTION_REGISTRY
+from .lru2mb import Lru2MbEviction
+from .lru4k import Lru4kEviction
+from .random_e import RandomEviction
+from .sequential_local import SequentialLocalPreEviction
+from .tbn import TreeBasedNeighborhoodPreEviction
+
+__all__ = [
+    "AdaptivePreEviction",
+    "EvictionPolicy",
+    "make_eviction_policy",
+    "EVICTION_REGISTRY",
+    "Lru2MbEviction",
+    "Lru4kEviction",
+    "RandomEviction",
+    "SequentialLocalPreEviction",
+    "TreeBasedNeighborhoodPreEviction",
+]

@@ -1,0 +1,141 @@
+"""Adaptive pre-eviction — an extension beyond the paper.
+
+The paper's Section 7 shows no single granularity wins everywhere: TBNe's
+cascades are best when evicted regions stay cold, while nw-style sparse
+reuse prefers SLe's single-block evictions.  This policy watches the
+*thrash rate* — the fraction of recently evicted pages that were migrated
+back — and degrades from TBNe-style cascading to SLe-style single-block
+eviction when thrashing is high, returning to cascading when it subsides.
+
+It reuses the same hierarchical LRU and buddy trees, so like the paper's
+policies it adds no bookkeeping beyond what the prefetcher maintains, plus
+one counter pair per epoch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ...memory.addressing import contiguous_runs
+from ...memory.lru import HierarchicalLRU
+from ..context import UvmContext
+from ..plans import EvictionPlan, EvictionUnit
+from .base import EvictionPolicy, clamped_skip, register_eviction
+
+_MISSING = object()
+
+
+@register_eviction
+class AdaptivePreEviction(EvictionPolicy):
+    """TBNe-style cascades, throttled by an observed thrash rate."""
+
+    name = "adaptive"
+
+    #: Evictions per adaptation epoch.
+    EPOCH_EVICTIONS = 64
+    #: Above this re-migration fraction, cascading is suspended.
+    THRASH_HIGH = 0.30
+    #: Below this fraction, cascading resumes.
+    THRASH_LOW = 0.10
+    #: Sliding window of recently evicted pages watched for returns.
+    RECENT_WINDOW = 4096
+
+    def __init__(self) -> None:
+        self._lru: HierarchicalLRU | None = None
+        self._cascading = True
+        #: Recently evicted pages (FIFO, bounded); a page migrating back
+        #: while still tracked counts as thrash.
+        self._recent: OrderedDict[int, None] = OrderedDict()
+        self._epoch_evictions = 0
+        self._epoch_thrashed = 0
+
+    def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
+        if self._lru is None:
+            self._lru = HierarchicalLRU(ctx.space)
+        return self._lru
+
+    # --- bookkeeping -----------------------------------------------------
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        if self._recent.pop(page, _MISSING) is not _MISSING:
+            # A recently evicted page came back: thrash.
+            self._epoch_thrashed += 1
+        self._structure(ctx).insert(page)
+
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        self._structure(ctx).touch(page)
+
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        lru = self._structure(ctx)
+        if page in lru:
+            lru.remove(page)
+
+    def evictable_pages(self) -> int:
+        return len(self._lru) if self._lru is not None else 0
+
+    # --- adaptation --------------------------------------------------------
+    def _note_evictions(self, pages: list[int]) -> None:
+        for page in pages:
+            self._recent[page] = None
+        while len(self._recent) > self.RECENT_WINDOW:
+            self._recent.popitem(last=False)
+        self._epoch_evictions += len(pages)
+        if self._epoch_evictions >= self.EPOCH_EVICTIONS:
+            rate = self._epoch_thrashed / self._epoch_evictions
+            if self._cascading and rate > self.THRASH_HIGH:
+                self._cascading = False
+            elif not self._cascading and rate < self.THRASH_LOW:
+                self._cascading = True
+            self._epoch_evictions = 0
+            self._epoch_thrashed = 0
+
+    @property
+    def cascading(self) -> bool:
+        """Whether tree cascades are currently enabled (diagnostics)."""
+        return self._cascading
+
+    # --- planning ------------------------------------------------------------
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        lru = self._structure(ctx)
+        page_size = ctx.config.page_size
+        units: list[EvictionUnit] = []
+        freed = 0
+        while freed < n_pages and len(lru):
+            skip = clamped_skip(ctx.reservation_skip, len(lru), 1)
+            victim_block = lru.victim_block(skip)
+            evicted = self._evict_block(victim_block, lru, ctx)
+            block_ids = sorted(evicted)
+            for start, count in contiguous_runs(block_ids):
+                pages: list[int] = []
+                for block in range(start, start + count):
+                    pages.extend(evicted[block])
+                pages.sort()
+                units.append(EvictionUnit(pages, unit_writeback=True))
+                freed += len(pages)
+                self._note_evictions(pages)
+        return EvictionPlan(units=units, trees_preadjusted=True)
+
+    def _evict_block(self, victim_block: int, lru: HierarchicalLRU,
+                     ctx: UvmContext) -> dict[int, list[int]]:
+        """Evict one block, cascading only while thrash is low."""
+        page_size = ctx.config.page_size
+        tree = ctx.tree_for_block(victim_block)
+        evicted: dict[int, list[int]] = {}
+        pages = lru.remove_block(victim_block)
+        evicted[victim_block] = pages
+        tree.adjust_block(victim_block, -len(pages) * page_size)
+        if not self._cascading:
+            return evicted
+        cascade = tree.balance_after_evict(victim_block)
+        for block, nbytes in cascade.items():
+            wanted = nbytes // page_size
+            block_pages = lru.remove_block(block)
+            taken = block_pages[:wanted]
+            for page in block_pages[len(taken):]:
+                lru.insert(page)
+            if taken:
+                evicted[block] = taken
+            shortfall = wanted - len(taken)
+            if shortfall > 0:
+                tree.adjust_block(block, shortfall * page_size)
+        return evicted

@@ -1,0 +1,92 @@
+"""Eviction-policy interface and registry.
+
+An eviction policy keeps its own recency bookkeeping, fed by the driver
+through ``on_validated`` / ``on_accessed``, and turns a frame shortage into
+an :class:`~repro.core.plans.EvictionPlan`.
+
+Contract:
+
+* every planned page is VALID at planning time and appears exactly once;
+* planned pages are removed from the policy's own bookkeeping before the
+  plan is returned;
+* pre-eviction policies may plan *more* pages than requested (that is the
+  point: freeing locality-sized chunks ahead of demand);
+* if ``plan.trees_preadjusted`` is True the policy already applied the
+  deltas to the buddy trees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ...errors import PolicyError
+from ..context import UvmContext
+from ..plans import EvictionPlan
+
+
+class EvictionPolicy(ABC):
+    """Base class of all eviction policies."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        """A page's valid flag was just set (migration completed)."""
+
+    @abstractmethod
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        """A valid page was read or written."""
+
+    @abstractmethod
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        """A valid page was invalidated outside this policy's own plans
+        (e.g. a host-side access migrated it back): drop any bookkeeping.
+
+        Must be a no-op for pages the policy does not track.
+        """
+
+    @abstractmethod
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        """Free at least ``n_pages`` pages (best effort; may exceed)."""
+
+    @abstractmethod
+    def evictable_pages(self) -> int:
+        """How many pages this policy could evict right now."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+EVICTION_REGISTRY: dict[str, Callable[[], EvictionPolicy]] = {}
+
+
+def register_eviction(cls: type[EvictionPolicy]) -> type[EvictionPolicy]:
+    """Class decorator adding an eviction policy to the registry."""
+    EVICTION_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_eviction_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by registry name."""
+    try:
+        factory = EVICTION_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(EVICTION_REGISTRY))
+        raise PolicyError(
+            f"unknown eviction policy {name!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def clamped_skip(requested_skip: int, population: int, needed: int) -> int:
+    """Reservation skip that still leaves room to make progress.
+
+    Protecting the LRU head must never deadlock an eviction: if the
+    protected fraction would leave fewer than ``needed`` candidates, the
+    protection shrinks accordingly.
+    """
+    if population <= 0:
+        raise PolicyError("cannot evict from an empty population")
+    return max(0, min(requested_skip, population - max(needed, 1)))

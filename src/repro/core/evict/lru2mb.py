@@ -1,0 +1,61 @@
+"""2 MB large-page LRU eviction (Section 7.5).
+
+"Experiments on real hardware reveals that eviction granularity is indeed
+2MB for NVIDIA GPUs."  Evicting a whole large page guarantees contiguous
+invalid space for the prefetcher, but "like aggressive prefetching,
+aggressive eviction is detrimental as it can cause serious page thrashing
+upon evicting highly referenced pages in case of repetitive kernel launch."
+"""
+
+from __future__ import annotations
+
+from ...memory.lru import HierarchicalLRU
+from ..context import UvmContext
+from ..plans import EvictionPlan, EvictionUnit
+from .base import EvictionPolicy, clamped_skip, register_eviction
+
+
+@register_eviction
+class Lru2MbEviction(EvictionPolicy):
+    """Evicts the least-recently-used 2 MB large page in one unit."""
+
+    name = "lru2mb"
+
+    def __init__(self) -> None:
+        self._lru: HierarchicalLRU | None = None
+
+    def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
+        if self._lru is None:
+            self._lru = HierarchicalLRU(ctx.space)
+        return self._lru
+
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        self._structure(ctx).insert(page)
+
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        self._structure(ctx).touch(page)
+
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        lru = self._structure(ctx)
+        if page in lru:
+            lru.remove(page)
+
+    def evictable_pages(self) -> int:
+        return len(self._lru) if self._lru is not None else 0
+
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        lru = self._structure(ctx)
+        units: list[EvictionUnit] = []
+        freed = 0
+        while freed < n_pages and len(lru):
+            skip = clamped_skip(ctx.reservation_skip, len(lru), 1)
+            victim_block = lru.victim_block(skip)
+            chunk = victim_block // ctx.space.blocks_per_large_page
+            pages: list[int] = []
+            for block in ctx.space.blocks_in_large_page(chunk):
+                pages.extend(lru.remove_block(block))
+            pages.sort()
+            units.append(EvictionUnit(pages, unit_writeback=True))
+            freed += len(pages)
+        return EvictionPlan(units=units)

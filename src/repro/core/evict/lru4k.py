@@ -1,0 +1,82 @@
+"""LRU 4 KB page eviction (Section 4.2).
+
+The traditional LRU list "only maintains pages with the access flags set"
+(Section 5.3), so prefetched-but-never-accessed pages are invisible to it:
+"These unused prefetched pages are never chosen for eviction by LRU"
+(Section 5).  They are still resident, though, so when the accessed-page
+list runs dry the policy falls back to reclaiming them in FIFO order rather
+than deadlocking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ...memory.lru import FlatLRU
+from ..context import UvmContext
+from ..plans import EvictionPlan, EvictionUnit
+from .base import EvictionPolicy, clamped_skip, register_eviction
+
+
+@register_eviction
+class Lru4kEviction(EvictionPolicy):
+    """One 4 KB page at a time, least-recently-*accessed* first."""
+
+    name = "lru4k"
+
+    #: Ablation knob: insert pages on validation instead of first access
+    #: (making prefetched pages first-class eviction candidates).
+    insert_on_validation = False
+
+    def __init__(self) -> None:
+        self._lru = FlatLRU()
+        #: Valid pages that were never accessed (not in the LRU list).
+        self._unaccessed: OrderedDict[int, None] = OrderedDict()
+
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        if self.insert_on_validation:
+            self._lru.insert(page)
+        else:
+            self._unaccessed[page] = None
+
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        self._unaccessed.pop(page, None)
+        self._lru.insert(page)
+
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        self._unaccessed.pop(page, None)
+        if page in self._lru:
+            self._lru.remove(page)
+
+    def evictable_pages(self) -> int:
+        return len(self._lru) + len(self._unaccessed)
+
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        units: list[EvictionUnit] = []
+        skip = ctx.reservation_skip
+        for _ in range(n_pages):
+            page = self._pop_victim(skip)
+            if page is None:
+                break
+            units.append(EvictionUnit([page], unit_writeback=False))
+        return EvictionPlan(units=units)
+
+    def _pop_victim(self, skip: int) -> int | None:
+        if self._lru:
+            effective = clamped_skip(skip, len(self._lru), 1)
+            page = self._lru.victim(effective)
+            self._lru.remove(page)
+            return page
+        if self._unaccessed:
+            page, _ = self._unaccessed.popitem(last=False)
+            return page
+        return None
+
+
+@register_eviction
+class Lru4kValidatedEviction(Lru4kEviction):
+    """Ablation variant: pages join the LRU list on validation."""
+
+    name = "lru4k-validated"
+    insert_on_validation = True

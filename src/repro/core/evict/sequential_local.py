@@ -1,0 +1,65 @@
+"""Sequential-local (SLe) pre-eviction (Section 5.1).
+
+"Sequential-local eviction consults the LRU page list to select an eviction
+candidate.  GMMU then determines the 64KB basic block to which the current
+eviction candidate belongs and then schedules the whole basic block for
+eviction and eventual write-back. ... All the 16 pages in the 64KB are
+written back as a single unit irrespective of the pages within are clean or
+dirty."
+
+Per the Section 5.3 design choice, *all* valid pages live in the
+(hierarchical) LRU list — prefetched-but-unaccessed pages included — so
+evicting the block removes them too and frees contiguous virtual space for
+further prefetching.
+"""
+
+from __future__ import annotations
+
+from ...memory.lru import HierarchicalLRU
+from ..context import UvmContext
+from ..plans import EvictionPlan, EvictionUnit
+from .base import EvictionPolicy, clamped_skip, register_eviction
+
+
+@register_eviction
+class SequentialLocalPreEviction(EvictionPolicy):
+    """Evicts the whole 64 KB basic block of the LRU victim."""
+
+    name = "sequential-local"
+
+    def __init__(self) -> None:
+        self._lru: HierarchicalLRU | None = None
+
+    def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
+        if self._lru is None:
+            self._lru = HierarchicalLRU(ctx.space)
+        return self._lru
+
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        # Design choice (Section 5.3): pages enter the LRU list as soon as
+        # their valid flag is set, not on first access.
+        self._structure(ctx).insert(page)
+
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        self._structure(ctx).touch(page)
+
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        lru = self._structure(ctx)
+        if page in lru:
+            lru.remove(page)
+
+    def evictable_pages(self) -> int:
+        return len(self._lru) if self._lru is not None else 0
+
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        lru = self._structure(ctx)
+        units: list[EvictionUnit] = []
+        freed = 0
+        while freed < n_pages and len(lru):
+            skip = clamped_skip(ctx.reservation_skip, len(lru), 1)
+            victim_block = lru.victim_block(skip)
+            pages = sorted(lru.remove_block(victim_block))
+            units.append(EvictionUnit(pages, unit_writeback=True))
+            freed += len(pages)
+        return EvictionPlan(units=units)

@@ -1,0 +1,47 @@
+"""GPU Memory Management Unit.
+
+The GMMU sits behind the per-SM TLBs (Figure 1): a TLB miss is relayed here,
+the page table is walked, and if the page has no valid PTE a far-fault is
+registered in the MSHRs and forwarded to the host driver.  Concurrent faults
+to the same page — and accesses to pages whose migration is already in
+flight — merge into the existing MSHR entry.
+"""
+
+from __future__ import annotations
+
+from ..gpu.warp import Warp
+from ..memory.mshr import FarFaultMSHR
+from .context import UvmContext
+
+
+class Gmmu:
+    """Translation and far-fault registration."""
+
+    def __init__(self, ctx: UvmContext, mshr: FarFaultMSHR,
+                 driver: "UvmDriver") -> None:
+        self.ctx = ctx
+        self.mshr = mshr
+        self.driver = driver
+
+    def handle_tlb_miss(self, sm, warp: Warp, page: int,
+                        now_ns: float) -> bool:
+        """Walk the page table for a missed translation.
+
+        Returns True when the page is valid (the SM's TLB is filled and the
+        access proceeds); False when a far-fault blocks the warp — the
+        access will be replayed after the MSHR notification (Figure 1,
+        step 6).
+        """
+        stats = self.ctx.stats
+        stats.page_table_walks += 1
+        if self.ctx.page_table.is_valid(page):
+            sm.tlb.insert(page)
+            return True
+        is_new = self.mshr.register(page, warp, now_ns)
+        if is_new:
+            # A genuine new far-fault: no valid PTE and no transfer in
+            # flight for this page.
+            self.driver.on_new_fault(page, now_ns)
+        else:
+            stats.mshr_merges += 1
+        return False

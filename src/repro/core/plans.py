@@ -1,0 +1,134 @@
+"""Plan objects exchanged between policies and the driver.
+
+Prefetchers produce :class:`MigrationPlan`\\ s (what to pull over the read
+channel, grouped into contiguous transfers) and eviction policies produce
+:class:`EvictionPlan`\\ s (what to push out over the write channel, grouped
+into write-back units).  ``trees_preadjusted`` marks plans produced by the
+tree-based policies, whose balancing already updated the buddy trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PolicyError
+from ..memory.addressing import contiguous_runs
+
+
+@dataclass
+class TransferGroup:
+    """One PCI-e read transaction: a contiguous, sorted run of pages.
+
+    ``fault_pages`` are the pages some warp is actually blocked on; groups
+    containing fault pages are scheduled ahead of pure-prefetch groups so
+    warps resume as early as possible.
+    """
+
+    pages: list[int]
+    fault_pages: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise PolicyError("transfer group cannot be empty")
+        runs = contiguous_runs(self.pages)
+        if len(runs) != 1:
+            raise PolicyError(
+                f"transfer group must be contiguous, got runs {runs}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        # Page size is uniform; resolved by the driver via its context.
+        return len(self.pages)
+
+    @property
+    def has_fault(self) -> bool:
+        return bool(self.fault_pages)
+
+
+@dataclass
+class MigrationPlan:
+    """All transfer groups planned for one fault batch."""
+
+    groups: list[TransferGroup] = field(default_factory=list)
+    trees_preadjusted: bool = False
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(g.pages) for g in self.groups)
+
+    def all_pages(self) -> list[int]:
+        return [p for g in self.groups for p in g.pages]
+
+    def ordered_groups(self) -> list[TransferGroup]:
+        """Fault-bearing groups first, then pure prefetch groups."""
+        with_fault = [g for g in self.groups if g.has_fault]
+        without = [g for g in self.groups if not g.has_fault]
+        return with_fault + without
+
+
+@dataclass
+class EvictionUnit:
+    """Pages invalidated together.
+
+    ``unit_writeback`` selects the write-back style: True writes the whole
+    unit back as a single transfer regardless of dirtiness (SLe/TBNe/2MB,
+    Section 5.1); False writes back only dirty pages, one 4 KB transfer
+    each, and drops clean pages for free (4 KB-granularity policies).
+    """
+
+    pages: list[int]
+    unit_writeback: bool
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise PolicyError("eviction unit cannot be empty")
+
+
+@dataclass
+class EvictionPlan:
+    """All eviction units planned for one frame-shortage episode."""
+
+    units: list[EvictionUnit] = field(default_factory=list)
+    trees_preadjusted: bool = False
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(u.pages) for u in self.units)
+
+    def all_pages(self) -> list[int]:
+        return [p for u in self.units for p in u.pages]
+
+
+def split_runs_at_faults(
+    pages: list[int], fault_pages: set[int]
+) -> list[TransferGroup]:
+    """Turn a sorted page list into transfer groups.
+
+    Pages are first merged into maximal contiguous runs; each run is then
+    cut at fault/non-fault boundaries so contiguous faulted pages form
+    *page-fault groups* and the rest form *prefetch groups* (the paper's
+    split, Sections 3.2-3.3).  Fault groups complete — and wake their warps
+    — without waiting for neighbouring prefetch bytes.
+    """
+    groups: list[TransferGroup] = []
+    for start, count in contiguous_runs(sorted(set(pages))):
+        run: list[int] = []
+        run_is_fault = False
+        for page in range(start, start + count):
+            is_fault = page in fault_pages
+            if run and is_fault != run_is_fault:
+                groups.append(TransferGroup(
+                    run,
+                    fault_pages=frozenset(run) if run_is_fault
+                    else frozenset(),
+                ))
+                run = []
+            run.append(page)
+            run_is_fault = is_fault
+        if run:
+            groups.append(TransferGroup(
+                run,
+                fault_pages=frozenset(run) if run_is_fault else frozenset(),
+            ))
+    return groups

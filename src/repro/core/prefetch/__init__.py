@@ -1,0 +1,22 @@
+"""Hardware prefetchers (Section 3): on-demand, random, sequential-local,
+tree-based neighborhood, and the Zheng et al. 512KB locality baseline."""
+
+from .base import Prefetcher, make_prefetcher, PREFETCHER_REGISTRY
+from .none import OnDemandPrefetcher
+from .random_p import RandomPrefetcher
+from .sequential_local import SequentialLocalPrefetcher
+from .tbn import TreeBasedNeighborhoodPrefetcher
+from .zheng import ZhengLocalityPrefetcher
+from .zheng_sequential import ZhengSequentialPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "make_prefetcher",
+    "PREFETCHER_REGISTRY",
+    "OnDemandPrefetcher",
+    "RandomPrefetcher",
+    "SequentialLocalPrefetcher",
+    "TreeBasedNeighborhoodPrefetcher",
+    "ZhengLocalityPrefetcher",
+    "ZhengSequentialPrefetcher",
+]

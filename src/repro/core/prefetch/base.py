@@ -1,0 +1,60 @@
+"""Prefetcher interface and registry.
+
+A prefetcher turns the faulted pages of one batch into a
+:class:`~repro.core.plans.MigrationPlan`: which pages to migrate, grouped
+into contiguous PCI-e transfers, with fault pages flagged so their transfers
+are scheduled first.
+
+Contract:
+
+* every faulted page appears in exactly one group;
+* every planned page is INVALID in the page table at planning time;
+* groups are contiguous page runs;
+* if ``plan.trees_preadjusted`` is True the policy has already applied the
+  to-be-valid deltas to the buddy trees; otherwise the driver does it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ...errors import PolicyError
+from ..context import UvmContext
+from ..plans import MigrationPlan
+
+
+class Prefetcher(ABC):
+    """Base class of all hardware prefetchers."""
+
+    #: Registry key and display name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan(self, faulted_pages: list[int],
+             ctx: UvmContext) -> MigrationPlan:
+        """Plan the migrations for one batch of faulted pages."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+PREFETCHER_REGISTRY: dict[str, Callable[[], Prefetcher]] = {}
+
+
+def register_prefetcher(cls: type[Prefetcher]) -> type[Prefetcher]:
+    """Class decorator adding a prefetcher to the registry."""
+    PREFETCHER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        factory = PREFETCHER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHER_REGISTRY))
+        raise PolicyError(
+            f"unknown prefetcher {name!r}; known: {known}"
+        ) from None
+    return factory()

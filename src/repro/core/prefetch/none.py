@@ -1,0 +1,24 @@
+"""On-demand 4 KB paging: no prefetching.
+
+The baseline of Figures 3-5 and the mode every configuration falls back to
+once the prefetcher is disabled under over-subscription (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..context import UvmContext
+from ..plans import MigrationPlan, split_runs_at_faults
+from .base import Prefetcher, register_prefetcher
+
+
+@register_prefetcher
+class OnDemandPrefetcher(Prefetcher):
+    """Migrates exactly the faulted 4 KB pages, nothing else."""
+
+    name = "none"
+
+    def plan(self, faulted_pages: list[int],
+             ctx: UvmContext) -> MigrationPlan:
+        fault_set = set(faulted_pages)
+        groups = split_runs_at_faults(faulted_pages, fault_set)
+        return MigrationPlan(groups=groups)

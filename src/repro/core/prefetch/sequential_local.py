@@ -1,0 +1,33 @@
+"""Sequential-local (SLp) prefetcher.
+
+"Each cudaMallocManaged allocation is logically split into multiple 64KB
+basic blocks.  GMMU ... first calculates the base addresses of the 64KB
+logical chunks to which these faulty 4KB pages belong.  Thus, GMMU
+identifies these 64KB basic blocks as prefetch candidates.  Further, it
+divides these candidate basic blocks into prefetch groups and page fault
+groups based on the position of the faulty page in the current basic block"
+(Section 3.2).  Multiple faulty pages within one 64KB boundary are grouped.
+"""
+
+from __future__ import annotations
+
+from ..context import UvmContext
+from ..plans import MigrationPlan, split_runs_at_faults
+from .base import Prefetcher, register_prefetcher
+
+
+@register_prefetcher
+class SequentialLocalPrefetcher(Prefetcher):
+    """Migrates the whole 64 KB basic block around every faulted page."""
+
+    name = "sequential-local"
+
+    def plan(self, faulted_pages: list[int],
+             ctx: UvmContext) -> MigrationPlan:
+        fault_set = set(faulted_pages)
+        planned: set[int] = set(fault_set)
+        blocks = sorted({ctx.space.block_of_page(p) for p in faulted_pages})
+        for block in blocks:
+            planned.update(ctx.migratable_pages_in_block(block))
+        groups = split_runs_at_faults(sorted(planned), fault_set)
+        return MigrationPlan(groups=groups)

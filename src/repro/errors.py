@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator configuration value is invalid or inconsistent."""
+
+
+class AllocationError(ReproError):
+    """A managed allocation request could not be satisfied."""
+
+
+class AddressError(ReproError):
+    """An address falls outside every managed allocation."""
+
+
+class DeviceMemoryError(ReproError):
+    """Physical frame pool misuse (double free, over-allocation, ...)."""
+
+
+class PageTableError(ReproError):
+    """Inconsistent page-table manipulation (e.g. validating a valid PTE)."""
+
+
+class PolicyError(ReproError):
+    """A prefetch or eviction policy was asked to do something unsupported."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was parameterized inconsistently."""

@@ -1,0 +1,20 @@
+"""Experiment runners — one module per table/figure of the evaluation.
+
+Every module exposes ``run(scale=..., ...) -> ExperimentResult`` returning
+the rows the paper's corresponding table or figure plots, and a ``main()``
+that prints them.  The benchmarks in ``benchmarks/`` wrap these runners.
+"""
+
+from .common import (
+    COMBINATIONS,
+    ExperimentResult,
+    combo_config,
+    run_suite_setting,
+)
+
+__all__ = [
+    "COMBINATIONS",
+    "ExperimentResult",
+    "combo_config",
+    "run_suite_setting",
+]

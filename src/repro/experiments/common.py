@@ -1,0 +1,105 @@
+"""Shared experiment infrastructure.
+
+The paper's evaluation revolves around a handful of *settings*: a prefetcher
++ eviction-policy pairing, an over-subscription percentage, and optional
+free-page buffer / LRU-reservation fractions.  :func:`combo_config` builds a
+validated :class:`~repro.config.SimulatorConfig` for a setting, and
+:func:`run_suite_setting` evaluates the whole benchmark suite under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+from ..config import SimulatorConfig, oversubscribed
+from ..runtime import UvmRuntime
+from ..stats import SimStats
+from ..workloads.base import Workload
+from ..workloads.registry import SUITE_ORDER, make_workload
+
+#: The four pairings of Figure 11, in the paper's order: (label,
+#: prefetcher, eviction, keep-prefetching-under-over-subscription).
+COMBINATIONS: list[tuple[str, str, str, bool]] = [
+    ("LRU4K+on-demand", "tbn", "lru4k", False),
+    ("Re+Rp", "random", "random", True),
+    ("SLe+SLp", "sequential-local", "sequential-local", True),
+    ("TBNe+TBNp", "tbn", "tbn", True),
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one experiment plus the metadata to print them."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def to_table(self) -> str:
+        table = format_table(self.headers, self.rows,
+                             title=f"{self.name}: {self.description}")
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return table
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def combo_config(
+    workload: Workload,
+    prefetcher: str,
+    eviction: str,
+    oversubscription_percent: float | None = None,
+    prefetch_under_pressure: bool = False,
+    free_page_buffer_fraction: float = 0.0,
+    lru_reservation_fraction: float = 0.0,
+    **overrides: object,
+) -> SimulatorConfig:
+    """Build the config for one experimental setting.
+
+    ``oversubscription_percent=None`` means the working set fits (device
+    memory unbounded).  Otherwise the device capacity is sized so the
+    workload's footprint is that percentage of it (the paper's phrasing).
+    """
+    kwargs: dict[str, object] = dict(
+        prefetcher=prefetcher,
+        eviction=eviction,
+        disable_prefetch_on_oversubscription=not prefetch_under_pressure,
+        free_page_buffer_fraction=free_page_buffer_fraction,
+        lru_reservation_fraction=lru_reservation_fraction,
+    )
+    kwargs.update(overrides)
+    if oversubscription_percent is None:
+        return SimulatorConfig(**kwargs)
+    return oversubscribed(workload.footprint_bytes,
+                          oversubscription_percent, **kwargs)
+
+
+def run_workload_setting(workload: Workload,
+                         config: SimulatorConfig) -> SimStats:
+    """Run one workload under one config on a fresh runtime."""
+    return UvmRuntime(config).run_workload(workload)
+
+
+def run_suite_setting(
+    scale: float,
+    workload_names: list[str] | None = None,
+    **setting: object,
+) -> dict[str, SimStats]:
+    """Run the (sub)suite under one setting; returns name -> stats."""
+    names = workload_names or list(SUITE_ORDER)
+    results: dict[str, SimStats] = {}
+    for name in names:
+        workload = make_workload(name, scale=scale)
+        config = combo_config(workload, **setting)
+        results[name] = run_workload_setting(workload, config)
+    return results

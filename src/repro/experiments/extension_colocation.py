@@ -1,0 +1,74 @@
+"""Extension experiment: policy behaviour under workload co-location.
+
+Not a paper figure.  The paper's over-subscription arises from a single
+application's working set; in practice device memory is also
+over-subscribed by *co-located* applications.  This experiment runs two
+workloads on one GPU whose memory holds only ~83% of their combined
+footprint, and compares the naive pairing against SLe+SLp and TBNe+TBNp —
+checking that the paper's conclusion (prefetcher-compatible pre-eviction
+wins) carries over to the contention setting.
+"""
+
+from __future__ import annotations
+
+from ..config import oversubscribed
+from ..runtime import MultiWorkloadRuntime
+from ..workloads.registry import make_workload
+from .common import ExperimentResult
+
+#: (label, prefetcher, eviction, keep prefetching under pressure).
+PAIRINGS = [
+    ("LRU4K+on-demand", "tbn", "lru4k", False),
+    ("SLe+SLp", "sequential-local", "sequential-local", True),
+    ("TBNe+TBNp", "tbn", "tbn", True),
+]
+
+#: Workload pairs co-located per row.
+PAIRS = [
+    ("hotspot", "bfs"),
+    ("srad", "pathfinder"),
+    ("gemm", "nw"),
+]
+
+OVERSUBSCRIPTION_PERCENT = 120.0
+
+
+def run(scale: float = 0.5,
+        pairs: list[tuple[str, str]] | None = None) -> ExperimentResult:
+    """Total kernel time (ms) for co-located pairs per policy pairing."""
+    chosen_pairs = pairs or PAIRS
+    result = ExperimentResult(
+        name="Extension: co-location",
+        description="two workloads sharing one GPU at "
+                    f"{OVERSUBSCRIPTION_PERCENT:.0f}% combined "
+                    "over-subscription, total kernel time (ms)",
+        headers=["pair"] + [label for label, *_ in PAIRINGS],
+    )
+    for first, second in chosen_pairs:
+        row: list[object] = [f"{first}+{second}"]
+        for label, prefetcher, eviction, keep in PAIRINGS:
+            workload_a = make_workload(first, scale=scale)
+            workload_b = make_workload(second, scale=scale)
+            footprint = (workload_a.footprint_bytes
+                         + workload_b.footprint_bytes)
+            config = oversubscribed(
+                footprint, OVERSUBSCRIPTION_PERCENT,
+                prefetcher=prefetcher,
+                eviction=eviction,
+                disable_prefetch_on_oversubscription=not keep,
+            )
+            runtime = MultiWorkloadRuntime(config)
+            runtime.add_workload(first, workload_a)
+            runtime.add_workload(second, workload_b)
+            stats = runtime.run()
+            row.append(stats.total_kernel_time_ns / 1e6)
+        result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Figure 10: total number of 4 KB pages evicted per eviction scheme.
+
+"The kernel performance is highly correlated to the total number of pages
+being evicted by the corresponding page replacement policy."
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult
+from .fig9_eviction import POLICIES, collect
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """Evicted-page counts per eviction policy in isolation."""
+    names = workload_names or list(SUITE_ORDER)
+    collected = collect(scale, names)
+    result = ExperimentResult(
+        name="Figure 10",
+        description="total 4KB pages evicted by eviction policy "
+                    "(same setting as Figure 9)",
+        headers=["workload"] + [f"{p} eviction" for p in POLICIES],
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[policy][name].pages_evicted for policy in POLICIES
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

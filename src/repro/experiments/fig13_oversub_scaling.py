@@ -1,0 +1,51 @@
+"""Figure 13: sensitivity of TBNe+TBNp to the over-subscription percentage.
+
+"backprop and pathfinder show no sensitivity to memory over-subscription
+percentage as they exhibit streaming memory pattern.  Other than nw, all
+other benchmarks scale up linearly.  The order of magnitude performance
+degradation with higher percentage of memory over-subscription for nw can
+be attributed to its localized sparse memory access."
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult, run_suite_setting
+
+#: Over-subscription percentages swept (None = working set fits).
+PERCENTAGES: tuple[float | None, ...] = (None, 105.0, 110.0, 125.0, 150.0)
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """Kernel time (ms) for TBNe+TBNp across over-subscription levels."""
+    names = workload_names or list(SUITE_ORDER)
+    collected = {}
+    for percent in PERCENTAGES:
+        collected[percent] = run_suite_setting(
+            scale, names,
+            prefetcher="tbn", eviction="tbn",
+            oversubscription_percent=percent,
+            prefetch_under_pressure=True,
+        )
+    result = ExperimentResult(
+        name="Figure 13",
+        description="TBNe+TBNp kernel time (ms) vs over-subscription",
+        headers=["workload"] + [
+            "fits" if p is None else f"{p:.0f}%" for p in PERCENTAGES
+        ],
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[p][name].total_kernel_time_ns / 1e6
+            for p in PERCENTAGES
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Figure 14: reserving a percentage of the LRU list from eviction.
+
+"streaming applications like backprop and pathfinder has no performance
+variation with LRU page reservation.  The kernel performance improves with
+10% reservation from the top of LRU list for all other benchmarks.
+However, with higher percentage of reservation, it hurts for certain
+benchmarks."  Setting: TBNe+TBNp at 110% over-subscription.
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult, run_suite_setting
+
+#: LRU-head reservation fractions swept.
+RESERVATIONS = (0.0, 0.10, 0.20)
+
+OVERSUBSCRIPTION_PERCENT = 110.0
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """Kernel time (ms) for TBNe+TBNp with 0/10/20% LRU reservation."""
+    names = workload_names or list(SUITE_ORDER)
+    collected = {}
+    for fraction in RESERVATIONS:
+        collected[fraction] = run_suite_setting(
+            scale, names,
+            prefetcher="tbn", eviction="tbn",
+            oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
+            prefetch_under_pressure=True,
+            lru_reservation_fraction=fraction,
+        )
+    result = ExperimentResult(
+        name="Figure 14",
+        description="TBNe+TBNp kernel time (ms) vs LRU reservation at "
+                    "110% over-subscription",
+        headers=["workload"] + [f"{int(f * 100)}%" for f in RESERVATIONS],
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[f][name].total_kernel_time_ns / 1e6
+            for f in RESERVATIONS
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

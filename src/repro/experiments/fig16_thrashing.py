@@ -1,0 +1,53 @@
+"""Figure 16: page thrashing of TBNe vs 2 MB eviction at 110% and 125%.
+
+"backprop and pathfinder shows no thrashing as they do not have any data
+reuse.  For benchmarks like bfs, hotspot, nw, and srad the performance
+improvement by TBNe compared to 2MB eviction can be attributed to the
+significant reduction in the number of page thrashing."
+
+A page "thrashes" when it is migrated to the device again after having
+been evicted earlier (migration_count > 1).
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult
+from .fig15_tbne_vs_2mb import collect
+
+PERCENTAGES = (110.0, 125.0)
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """Thrashed-page counts for TBNe vs 2MB LRU at 110% and 125%."""
+    names = workload_names or list(SUITE_ORDER)
+    headers = ["workload"]
+    columns: list[tuple[str, float]] = []
+    for percent in PERCENTAGES:
+        for label in ("TBNe", "2MB LRU"):
+            headers.append(f"{label} @{percent:.0f}%")
+            columns.append((label, percent))
+    collected = {
+        percent: collect(scale, names, oversubscription_percent=percent)
+        for percent in PERCENTAGES
+    }
+    result = ExperimentResult(
+        name="Figure 16",
+        description="pages thrashed: TBNe vs 2MB eviction",
+        headers=headers,
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[percent][label][name].pages_thrashed
+            for label, percent in columns
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Figure 6: sensitivity of kernel time to over-subscription percentage and
+to the memory-threshold free-page buffer.
+
+Setting (paper caption): "TBNp is active before reaching device memory
+capacity.  Upon over-subscription, hardware prefetcher is disabled and
+pages are migrated at 4KB granularity on-demand.  LRU 4KB is used for
+eviction."  The free-page-buffer columns additionally maintain a constant
+pool of free pages by pre-evicting — and show that it *hurts* ("it actually
+hurts the performance ... the hardware prefetcher is disabled even before
+reaching the device memory size capacity").
+"""
+
+from __future__ import annotations
+
+from ..stats import SimStats
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult, run_suite_setting
+
+#: (label, oversubscription percent or None, free-page-buffer fraction).
+SETTINGS: list[tuple[str, float | None, float]] = [
+    ("fits", None, 0.0),
+    ("105%", 105.0, 0.0),
+    ("110%", 110.0, 0.0),
+    ("125%", 125.0, 0.0),
+    ("110%+buf5", 110.0, 0.05),
+    ("110%+buf10", 110.0, 0.10),
+]
+
+
+def collect(scale: float,
+            workload_names: list[str] | None = None
+            ) -> dict[str, dict[str, SimStats]]:
+    """Stats per setting label per workload (shared with Figure 7)."""
+    names = workload_names or list(SUITE_ORDER)
+    out: dict[str, dict[str, SimStats]] = {}
+    for label, percent, buffer_fraction in SETTINGS:
+        out[label] = run_suite_setting(
+            scale, names,
+            prefetcher="tbn", eviction="lru4k",
+            oversubscription_percent=percent,
+            prefetch_under_pressure=False,
+            free_page_buffer_fraction=buffer_fraction,
+        )
+    return out
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """Kernel time (ms) across the over-subscription/buffer matrix."""
+    names = workload_names or list(SUITE_ORDER)
+    collected = collect(scale, names)
+    result = ExperimentResult(
+        name="Figure 6",
+        description="kernel time (ms) vs over-subscription and free-page "
+                    "buffer (TBNp until full, then 4KB on-demand, LRU 4KB)",
+        headers=["workload"] + [label for label, _, _ in SETTINGS],
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[label][name].total_kernel_time_ns / 1e6
+            for label, _, _ in SETTINGS
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Figure 7: number of 4 KB page transfers across the Figure 6 matrix.
+
+"Figure 7 shows drastic increase in the number of 4KB page transfers in
+case of over-subscription and pre-eviction as the hardware prefetcher is
+disabled when compared against no over-subscription."
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import SUITE_ORDER
+from .common import ExperimentResult
+from .fig6_oversub_sensitivity import SETTINGS, collect
+
+
+def run(scale: float = 0.5,
+        workload_names: list[str] | None = None) -> ExperimentResult:
+    """4 KB H2D transfer counts across the over-subscription matrix."""
+    names = workload_names or list(SUITE_ORDER)
+    collected = collect(scale, names)
+    result = ExperimentResult(
+        name="Figure 7",
+        description="number of 4KB page transfers vs over-subscription "
+                    "and free-page buffer",
+        headers=["workload"] + [label for label, _, _ in SETTINGS],
+    )
+    for name in names:
+        result.add_row(name, *(
+            collected[label][name].transfers_4kb
+            for label, _, _ in SETTINGS
+        ))
+    return result
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Simplified GPU execution model: kernels, thread blocks, warps, SMs."""
+
+from .coalescer import coalesce_addresses, coalesce_pages
+from .kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from .sm import StreamingMultiprocessor
+from .tb_scheduler import ThreadBlockScheduler
+from .warp import Warp, WarpState
+
+__all__ = [
+    "coalesce_addresses",
+    "coalesce_pages",
+    "KernelSpec",
+    "ThreadBlockSpec",
+    "WarpSpec",
+    "StreamingMultiprocessor",
+    "ThreadBlockScheduler",
+    "Warp",
+    "WarpState",
+]

@@ -1,0 +1,97 @@
+"""Kernel launch descriptors.
+
+A GPU kernel is described as the coalesced, page-granular memory reference
+stream of each warp, grouped into thread blocks.  The arithmetic between
+accesses is abstracted into the per-access issue interval
+(``SimulatorConfig.cycles_per_access``): the paper's results are functions of
+the memory system only.
+
+Accesses are ``(page, is_write)`` pairs where ``page`` is a *global 4 KB page
+index* in the unified virtual address space (workloads emit allocation-
+relative page offsets; the runtime resolves them at launch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+#: One coalesced memory access: (global page index, is_write).
+Access = tuple[int, bool]
+
+
+@dataclass
+class WarpSpec:
+    """The ordered access stream of one warp."""
+
+    accesses: list[Access]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.accesses, list):
+            self.accesses = list(self.accesses)
+
+    @classmethod
+    def from_addresses(cls, instructions: list[tuple[list[int], bool]],
+                       page_size: int = 4096) -> "WarpSpec":
+        """Build a warp from per-instruction thread byte addresses.
+
+        Each instruction is ``(addresses, is_write)`` — the load/store
+        unit coalesces the 32 threads' addresses into the distinct pages
+        they touch (Section 2.1), and immediately repeated pages across
+        instructions merge as in hardware.
+        """
+        from .coalescer import coalesce_pages
+
+        stream: list[Access] = []
+        for addresses, is_write in instructions:
+            seen: set[int] = set()
+            for addr in addresses:
+                page = addr // page_size
+                if page not in seen:
+                    seen.add(page)
+                    stream.append((page, is_write))
+        return cls(coalesce_pages(stream))
+
+
+@dataclass
+class ThreadBlockSpec:
+    """A thread block: the co-scheduled warps that share an SM."""
+
+    warps: list[WarpSpec]
+
+    def __post_init__(self) -> None:
+        if not self.warps:
+            raise WorkloadError("thread block must contain at least one warp")
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(w.accesses) for w in self.warps)
+
+
+@dataclass
+class KernelSpec:
+    """One kernel launch: a name plus its grid of thread blocks."""
+
+    name: str
+    thread_blocks: list[ThreadBlockSpec]
+    #: Optional label of the launch iteration (for access-pattern traces).
+    iteration: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.thread_blocks:
+            raise WorkloadError(
+                f"kernel {self.name!r} must have at least one thread block"
+            )
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(tb.total_accesses for tb in self.thread_blocks)
+
+    def touched_pages(self) -> set[int]:
+        """All distinct pages this launch references (test helper)."""
+        pages: set[int] = set()
+        for tb in self.thread_blocks:
+            for warp in tb.warps:
+                pages.update(page for page, _ in warp.accesses)
+        return pages

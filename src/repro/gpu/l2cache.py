@@ -1,0 +1,68 @@
+"""Shared L2 data cache (optional timing refinement).
+
+"GPUs also have a unified L2 data cache for all SMs.  A near-fault can
+occur upon L2 cache miss" (Section 2).  The paper's evaluation abstracts
+L2 behaviour away (its effects are dwarfed by far-faults); this model is
+provided for timing texture and ablations, default-off
+(``SimulatorConfig(l2_enabled=False)``).
+
+Granularity: the simulator's accesses are already page-coalesced, so the
+cache tracks 4 KB pages as a set-associative proxy for the real line-level
+cache.  A hit costs nothing extra; a miss adds ``l2_miss_cycles`` (the
+near-fault: a GDDR access).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+
+
+class L2Cache:
+    """Set-associative, LRU, page-granular shared cache."""
+
+    def __init__(self, capacity_pages: int = 1024, ways: int = 16) -> None:
+        if capacity_pages <= 0 or ways <= 0:
+            raise ConfigurationError("L2 capacity and ways must be > 0")
+        if capacity_pages % ways:
+            raise ConfigurationError(
+                "L2 capacity must be a multiple of its associativity"
+            )
+        self.capacity = capacity_pages
+        self.ways = ways
+        self.num_sets = capacity_pages // ways
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Look up (and fill on miss); True on hit."""
+        line_set = self._sets[page % self.num_sets]
+        if page in line_set:
+            line_set.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(line_set) >= self.ways:
+            line_set.popitem(last=False)
+        line_set[page] = None
+        return False
+
+    def invalidate(self, page: int) -> bool:
+        """Drop a page's lines (on eviction from device memory)."""
+        line_set = self._sets[page % self.num_sets]
+        if page in line_set:
+            del line_set[page]
+            return True
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,85 @@
+"""Streaming multiprocessor state.
+
+Each SM holds the warps of its resident thread blocks, a private TLB
+(Figure 1: "Every load/store unit has its own TLB"), and a local clock.  The
+engine drives the SM; this class provides round-robin warp selection and
+residency bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..memory.tlb import Tlb
+from .kernel import ThreadBlockSpec
+from .warp import Warp, WarpState
+
+
+class _ResidentBlock:
+    """A thread block currently executing on the SM."""
+
+    __slots__ = ("tb_id", "warps")
+
+    def __init__(self, tb_id: int, spec: ThreadBlockSpec,
+                 first_warp_id: int) -> None:
+        self.tb_id = tb_id
+        self.warps = [Warp(first_warp_id + i, w)
+                      for i, w in enumerate(spec.warps)]
+
+    @property
+    def done(self) -> bool:
+        return all(w.done for w in self.warps)
+
+
+class StreamingMultiprocessor:
+    """Warp pool + TLB + local time of one SM."""
+
+    def __init__(self, sm_id: int, tlb_entries: int) -> None:
+        self.sm_id = sm_id
+        self.tlb = Tlb(tlb_entries)
+        self.time_ns = 0.0
+        #: True when a step event is queued or executing for this SM.
+        self.scheduled = False
+        self._blocks: list[_ResidentBlock] = []
+        self._rr_index = 0
+
+    # --- residency ---------------------------------------------------------
+    def add_thread_block(self, tb_id: int, spec: ThreadBlockSpec,
+                         first_warp_id: int) -> None:
+        """Place a thread block on this SM."""
+        block = _ResidentBlock(tb_id, spec, first_warp_id)
+        for warp in block.warps:
+            warp.sm = self
+        self._blocks.append(block)
+
+    def reap_finished_blocks(self) -> list[int]:
+        """Remove completed thread blocks; returns their ids."""
+        finished = [b.tb_id for b in self._blocks if b.done]
+        if finished:
+            self._blocks = [b for b in self._blocks if not b.done]
+            self._rr_index = 0
+        return finished
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def idle(self) -> bool:
+        """True when no warp can issue (all blocked or done)."""
+        return self.next_ready_warp() is None
+
+    # --- scheduling ----------------------------------------------------------
+    def all_warps(self) -> list[Warp]:
+        return [w for b in self._blocks for w in b.warps]
+
+    def next_ready_warp(self) -> Warp | None:
+        """Round-robin over READY warps across resident blocks."""
+        warps = self.all_warps()
+        if not warps:
+            return None
+        n = len(warps)
+        for offset in range(n):
+            warp = warps[(self._rr_index + offset) % n]
+            if warp.state is WarpState.READY:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return warp
+        return None

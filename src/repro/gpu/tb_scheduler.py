@@ -1,0 +1,65 @@
+"""Thread-block dispatch across SMs.
+
+Thread blocks of the active kernel are handed to SMs in order; each SM runs
+up to ``max_thread_blocks_per_sm`` blocks concurrently and receives the next
+queued block as soon as one of its resident blocks retires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SimulationError
+from .kernel import KernelSpec, ThreadBlockSpec
+from .sm import StreamingMultiprocessor
+
+
+class ThreadBlockScheduler:
+    """Dispatches one kernel's thread blocks onto the SM array."""
+
+    def __init__(self, sms: list[StreamingMultiprocessor],
+                 max_blocks_per_sm: int) -> None:
+        self.sms = sms
+        self.max_blocks_per_sm = max_blocks_per_sm
+        self._queue: deque[tuple[int, ThreadBlockSpec]] = deque()
+        self._outstanding = 0
+        self._next_warp_id = 0
+
+    def launch(self, kernel: KernelSpec) -> list[StreamingMultiprocessor]:
+        """Queue a kernel's blocks and fill every SM; returns SMs that
+        received work (the engine must schedule a step for each)."""
+        if self._queue or self._outstanding:
+            raise SimulationError(
+                "cannot launch a kernel while another is in flight"
+            )
+        for tb_id, spec in enumerate(kernel.thread_blocks):
+            self._queue.append((tb_id, spec))
+        self._outstanding = len(kernel.thread_blocks)
+        touched: list[StreamingMultiprocessor] = []
+        for sm in self.sms:
+            if self._fill_sm(sm):
+                touched.append(sm)
+        return touched
+
+    def _fill_sm(self, sm: StreamingMultiprocessor) -> bool:
+        """Top up one SM from the queue; True if any block was placed."""
+        placed = False
+        while self._queue and sm.resident_blocks < self.max_blocks_per_sm:
+            tb_id, spec = self._queue.popleft()
+            sm.add_thread_block(tb_id, spec, self._next_warp_id)
+            self._next_warp_id += len(spec.warps)
+            placed = True
+        return placed
+
+    def on_blocks_finished(self, sm: StreamingMultiprocessor,
+                           finished: list[int]) -> bool:
+        """Account retired blocks and refill the SM; True if refilled."""
+        self._outstanding -= len(finished)
+        if self._outstanding < 0:
+            raise SimulationError("more thread blocks retired than launched")
+        return self._fill_sm(sm)
+
+    @property
+    def kernel_done(self) -> bool:
+        """True when every launched block has retired."""
+        return self._outstanding == 0 and not self._queue

@@ -1,0 +1,6 @@
+"""PCI-e interconnect model: measured-bandwidth fit and duplex channels."""
+
+from .bandwidth import BandwidthModel
+from .pcie import PcieChannel, PcieLink, Transfer
+
+__all__ = ["BandwidthModel", "PcieChannel", "PcieLink", "Transfer"]

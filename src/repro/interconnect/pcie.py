@@ -1,0 +1,68 @@
+"""PCI-e link with independent, serialized read and write channels.
+
+Host-to-device migrations ride the read channel; eviction write-backs ride
+the write channel; the two proceed in parallel (which is what makes
+pre-eviction overlap write-backs with execution).  Each channel is a FIFO:
+a transfer starts at ``max(requested_start, channel_free)`` and occupies the
+channel for ``BandwidthModel.latency_ns(size)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stats import TransferLog
+from .bandwidth import BandwidthModel
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled PCI-e transaction."""
+
+    start_ns: float
+    end_ns: float
+    size_bytes: int
+    direction: str  # "h2d" | "d2h"
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class PcieChannel:
+    """A serialized transfer queue in one direction."""
+
+    def __init__(self, model: BandwidthModel, direction: str,
+                 log: TransferLog) -> None:
+        self.model = model
+        self.direction = direction
+        self.log = log
+        self.busy_until_ns = 0.0
+
+    def schedule(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
+        """Queue one transaction; returns its realized start/end times."""
+        start = max(earliest_start_ns, self.busy_until_ns)
+        latency = self.model.latency_ns(size_bytes)
+        end = start + latency
+        self.busy_until_ns = end
+        self.log.record(size_bytes, latency)
+        return Transfer(start, end, size_bytes, self.direction)
+
+
+class PcieLink:
+    """Duplex PCI-e link: one read (H2D) and one write (D2H) channel."""
+
+    def __init__(self, model: BandwidthModel, h2d_log: TransferLog,
+                 d2h_log: TransferLog) -> None:
+        self.model = model
+        self.read = PcieChannel(model, "h2d", h2d_log)
+        self.write = PcieChannel(model, "d2h", d2h_log)
+
+    def migrate(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
+        """Host-to-device migration (demand or prefetch)."""
+        return self.read.schedule(size_bytes, earliest_start_ns)
+
+    def write_back(self, size_bytes: int,
+                   earliest_start_ns: float) -> Transfer:
+        """Device-to-host eviction write-back."""
+        return self.write.schedule(size_bytes, earliest_start_ns)

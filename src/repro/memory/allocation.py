@@ -1,0 +1,133 @@
+"""Managed allocations and their tree layout.
+
+``cudaMallocManaged`` allocations are logically divided into 2 MB large
+pages; each large page gets a full binary tree with 64 KB basic blocks as
+leaves.  If the allocation size is not a multiple of 2 MB, the remainder is
+rounded up to the next ``2**i * 64KB`` and one more (smaller) full tree is
+built over it — the paper's 4MB+192KB -> 4MB + 256KB example (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from .addressing import AddressSpace, round_up_pow2_blocks
+
+
+@dataclass(frozen=True)
+class AllocationSpec:
+    """What a workload asks for: a named managed buffer of a given size."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise AllocationError(
+                f"allocation {self.name!r} must have positive size"
+            )
+
+
+@dataclass(frozen=True)
+class TreeRegion:
+    """The virtual range covered by one full binary tree.
+
+    ``num_blocks`` is always a power of two; ``size`` equals
+    ``num_blocks * block_size`` and is at most one large page.
+    """
+
+    base_addr: int
+    num_blocks: int
+    block_size: int
+
+    @property
+    def size(self) -> int:
+        return self.num_blocks * self.block_size
+
+    @property
+    def end_addr(self) -> int:
+        return self.base_addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base_addr <= addr < self.end_addr
+
+
+class ManagedAllocation:
+    """One ``cudaMallocManaged`` region placed in the unified address space.
+
+    The allocation knows its requested size, its rounded (tree-covered) size,
+    and the list of :class:`TreeRegion` trees the GMMU maintains over it.
+    """
+
+    def __init__(self, name: str, base_addr: int, size_bytes: int,
+                 space: AddressSpace) -> None:
+        if base_addr % space.large_page_size:
+            raise AllocationError(
+                "managed allocations must be 2MB aligned "
+                f"(got base 0x{base_addr:x})"
+            )
+        self.name = name
+        self.base_addr = base_addr
+        self.requested_bytes = size_bytes
+        self.space = space
+        self.trees = self._build_trees()
+        self.rounded_bytes = sum(tree.size for tree in self.trees)
+
+    def _build_trees(self) -> list[TreeRegion]:
+        space = self.space
+        trees: list[TreeRegion] = []
+        addr = self.base_addr
+        remaining = self.requested_bytes
+        blocks_per_lp = space.blocks_per_large_page
+        while remaining >= space.large_page_size:
+            trees.append(TreeRegion(addr, blocks_per_lp, space.block_size))
+            addr += space.large_page_size
+            remaining -= space.large_page_size
+        if remaining > 0:
+            rounded = round_up_pow2_blocks(remaining, space.block_size)
+            trees.append(
+                TreeRegion(addr, rounded // space.block_size,
+                           space.block_size)
+            )
+        return trees
+
+    @property
+    def end_addr(self) -> int:
+        """One past the last tree-covered byte (the reserved VA extent)."""
+        return self.base_addr + self.rounded_bytes
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls in the *requested* extent."""
+        return self.base_addr <= addr < self.base_addr + self.requested_bytes
+
+    def tree_for(self, addr: int) -> TreeRegion:
+        """The tree region covering ``addr``."""
+        offset = addr - self.base_addr
+        if not 0 <= offset < self.rounded_bytes:
+            raise AllocationError(
+                f"address 0x{addr:x} outside allocation {self.name!r}"
+            )
+        index = offset // self.space.large_page_size
+        return self.trees[min(index, len(self.trees) - 1)]
+
+    @property
+    def page_range(self) -> range:
+        """Global page indices of the requested extent."""
+        first = self.space.page_of(self.base_addr)
+        count = -(-self.requested_bytes // self.space.page_size)
+        return range(first, first + count)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of 4 KB pages in the requested extent."""
+        return len(self.page_range)
+
+    def addr_of_page_offset(self, page_offset: int) -> int:
+        """Byte address of the ``page_offset``-th page of this allocation."""
+        if not 0 <= page_offset < self.num_pages:
+            raise AllocationError(
+                f"page offset {page_offset} outside allocation {self.name!r} "
+                f"({self.num_pages} pages)"
+            )
+        return self.base_addr + page_offset * self.space.page_size

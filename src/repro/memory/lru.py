@@ -1,0 +1,251 @@
+"""LRU bookkeeping structures used by the eviction policies.
+
+Three structures are provided:
+
+* :class:`FlatLRU` — the classic 4 KB page LRU list (Section 4.2).
+* :class:`HierarchicalLRU` — the Section 5.3 design choice for SLe/TBNe:
+  pages are sorted first at 2 MB large-page level by the chunk's last access
+  and then, within the chunk, by 64 KB basic-block last access.  All *valid*
+  pages are present, including prefetched-but-never-accessed ones.
+* :class:`RandomMembership` — O(1) uniform sampling with removal, for the
+  random eviction baseline.
+
+Both LRU structures support the Section 7.4 optimization of *reserving* a
+number of pages at the head (least-recently-used end) of the list so they
+are skipped when choosing eviction candidates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import OrderedDict
+
+from ..errors import PolicyError
+from .addressing import AddressSpace, DEFAULT_ADDRESS_SPACE
+
+
+class FlatLRU:
+    """Ordered set of resident pages; head = least recently used."""
+
+    def __init__(self) -> None:
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._pages
+
+    def insert(self, page: int) -> None:
+        """Add a page at the MRU end (also used on re-validation)."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+        else:
+            self._pages[page] = None
+
+    def touch(self, page: int) -> None:
+        """Move an already-present page to the MRU end."""
+        try:
+            self._pages.move_to_end(page)
+        except KeyError:
+            raise PolicyError(f"page {page} not in LRU list") from None
+
+    def remove(self, page: int) -> None:
+        """Drop a page (it was evicted or invalidated)."""
+        if self._pages.pop(page, _MISSING) is _MISSING:
+            raise PolicyError(f"page {page} not in LRU list")
+
+    def victim(self, skip: int = 0) -> int:
+        """The eviction candidate after skipping ``skip`` protected pages.
+
+        ``skip`` implements the LRU-head reservation: the ``skip`` least
+        recently used pages are never chosen.
+        """
+        if skip < 0:
+            raise PolicyError("skip must be non-negative")
+        if skip >= len(self._pages):
+            raise PolicyError(
+                f"cannot skip {skip} of {len(self._pages)} LRU pages"
+            )
+        return next(itertools.islice(self._pages, skip, None))
+
+    def pages_in_order(self) -> list[int]:
+        """LRU-to-MRU page list (test helper)."""
+        return list(self._pages)
+
+
+class _ChunkEntry:
+    """Per-2MB-chunk ordering of basic blocks and their pages."""
+
+    __slots__ = ("blocks",)
+
+    def __init__(self) -> None:
+        #: block index -> ordered set of resident pages in that block;
+        #: OrderedDict order of *blocks* is LRU -> MRU.
+        self.blocks: OrderedDict[int, OrderedDict[int, None]] = OrderedDict()
+
+    @property
+    def page_count(self) -> int:
+        return sum(len(pages) for pages in self.blocks.values())
+
+
+_MISSING = object()
+
+
+class HierarchicalLRU:
+    """Two-level LRU: 2 MB chunks ordered globally, 64 KB blocks within.
+
+    The eviction candidate is the LRU block of the LRU chunk; the reservation
+    skip is counted in *pages* from the LRU end, matching the paper's
+    "reserve a percentage of pages from the top of LRU list".
+    """
+
+    def __init__(self, space: AddressSpace | None = None) -> None:
+        self.space = space or DEFAULT_ADDRESS_SPACE
+        self._chunks: OrderedDict[int, _ChunkEntry] = OrderedDict()
+        self._page_count = 0
+
+    def __len__(self) -> int:
+        return self._page_count
+
+    def __contains__(self, page: int) -> bool:
+        chunk = self._chunks.get(self.space.large_page_of_page(page))
+        if chunk is None:
+            return False
+        block_pages = chunk.blocks.get(self.space.block_of_page(page))
+        return block_pages is not None and page in block_pages
+
+    # --- mutation ---------------------------------------------------------
+    def insert(self, page: int) -> None:
+        """Add a freshly validated page; refreshes chunk and block order."""
+        chunk_id = self.space.large_page_of_page(page)
+        block_id = self.space.block_of_page(page)
+        chunk = self._chunks.get(chunk_id)
+        if chunk is None:
+            chunk = _ChunkEntry()
+            self._chunks[chunk_id] = chunk
+        else:
+            self._chunks.move_to_end(chunk_id)
+        block_pages = chunk.blocks.get(block_id)
+        if block_pages is None:
+            block_pages = OrderedDict()
+            chunk.blocks[block_id] = block_pages
+        else:
+            chunk.blocks.move_to_end(block_id)
+        if page in block_pages:
+            block_pages.move_to_end(page)
+        else:
+            block_pages[page] = None
+            self._page_count += 1
+
+    def touch(self, page: int) -> None:
+        """Refresh a resident page's position on access."""
+        if page not in self:
+            raise PolicyError(f"page {page} not in hierarchical LRU")
+        self.insert(page)
+
+    def remove(self, page: int) -> None:
+        """Drop one page, pruning empty blocks/chunks."""
+        chunk_id = self.space.large_page_of_page(page)
+        block_id = self.space.block_of_page(page)
+        chunk = self._chunks.get(chunk_id)
+        if chunk is None:
+            raise PolicyError(f"page {page} not in hierarchical LRU")
+        block_pages = chunk.blocks.get(block_id)
+        if block_pages is None or block_pages.pop(page, _MISSING) is _MISSING:
+            raise PolicyError(f"page {page} not in hierarchical LRU")
+        self._page_count -= 1
+        if not block_pages:
+            del chunk.blocks[block_id]
+        if not chunk.blocks:
+            del self._chunks[chunk_id]
+
+    def remove_block(self, block_id: int) -> list[int]:
+        """Drop every page of a basic block; returns the removed pages."""
+        chunk_id = block_id // self.space.blocks_per_large_page
+        chunk = self._chunks.get(chunk_id)
+        if chunk is None:
+            return []
+        block_pages = chunk.blocks.pop(block_id, None)
+        if block_pages is None:
+            return []
+        removed = list(block_pages)
+        self._page_count -= len(removed)
+        if not chunk.blocks:
+            del self._chunks[chunk_id]
+        return removed
+
+    # --- candidate selection -------------------------------------------------
+    def victim_block(self, skip_pages: int = 0) -> int:
+        """LRU basic block after skipping ``skip_pages`` protected pages."""
+        if skip_pages < 0:
+            raise PolicyError("skip_pages must be non-negative")
+        remaining = skip_pages
+        for chunk in self._chunks.values():
+            for block_id, block_pages in chunk.blocks.items():
+                if remaining < len(block_pages):
+                    return block_id
+                remaining -= len(block_pages)
+        raise PolicyError(
+            f"cannot skip {skip_pages} of {self._page_count} LRU pages"
+        )
+
+    def victim_page(self, skip_pages: int = 0) -> int:
+        """LRU page after skipping ``skip_pages`` protected pages."""
+        if skip_pages < 0:
+            raise PolicyError("skip_pages must be non-negative")
+        remaining = skip_pages
+        for chunk in self._chunks.values():
+            for block_pages in chunk.blocks.values():
+                if remaining < len(block_pages):
+                    return next(
+                        itertools.islice(block_pages, remaining, None)
+                    )
+                remaining -= len(block_pages)
+        raise PolicyError(
+            f"cannot skip {skip_pages} of {self._page_count} LRU pages"
+        )
+
+    def blocks_in_order(self) -> list[int]:
+        """LRU-to-MRU block ids across all chunks (test helper)."""
+        out: list[int] = []
+        for chunk in self._chunks.values():
+            out.extend(chunk.blocks)
+        return out
+
+
+class RandomMembership:
+    """Set with O(1) insert, remove, and uniform random sampling."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._items: list[int] = []
+        self._positions: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._positions
+
+    def insert(self, item: int) -> None:
+        if item in self._positions:
+            return
+        self._positions[item] = len(self._items)
+        self._items.append(item)
+
+    def remove(self, item: int) -> None:
+        pos = self._positions.pop(item, None)
+        if pos is None:
+            raise PolicyError(f"item {item} not present")
+        last = self._items.pop()
+        if last != item:
+            self._items[pos] = last
+            self._positions[last] = pos
+
+    def sample(self) -> int:
+        """Uniformly random member (without removal)."""
+        if not self._items:
+            raise PolicyError("cannot sample from an empty set")
+        return self._rng.choice(self._items)

@@ -1,0 +1,77 @@
+"""Far-fault Miss Status Handling Registers.
+
+Concurrent faults from different warps to the same page merge into one MSHR
+entry (Figure 1, step 3): only the first fault triggers driver work, and all
+blocked warps are notified together when the migration completes (step 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class MshrEntry:
+    """Outstanding far-fault for one page and the warps blocked on it."""
+
+    page: int
+    first_fault_ns: float
+    waiters: list[object] = field(default_factory=list)
+
+
+class FarFaultMSHR:
+    """Fixed-capacity file of outstanding far-faults, keyed by page."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = entries
+        self._entries: dict[int, MshrEntry] = {}
+        self.merges = 0
+        self.peak_occupancy = 0
+
+    def register(self, page: int, waiter: object, now_ns: float) -> bool:
+        """Record a fault; returns True when this is a *new* fault.
+
+        A ``waiter`` (typically a warp) is appended either way so it gets
+        woken on completion.  ``waiter`` may be None for prefetch-initiated
+        migrations that no warp is blocked on.
+        """
+        entry = self._entries.get(page)
+        if entry is not None:
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            self.merges += 1
+            return False
+        if len(self._entries) >= self.capacity:
+            raise SimulationError(
+                f"MSHR overflow: {self.capacity} outstanding far-faults"
+            )
+        entry = MshrEntry(page, now_ns)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[page] = entry
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return True
+
+    def outstanding(self, page: int) -> bool:
+        """True when a fault/migration for ``page`` is in flight."""
+        return page in self._entries
+
+    def complete(self, page: int) -> list[object]:
+        """Retire the entry for ``page``; returns the waiters to wake."""
+        entry = self._entries.pop(page, None)
+        if entry is None:
+            raise SimulationError(
+                f"completing page {page} with no MSHR entry"
+            )
+        return entry.waiters
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def pages(self) -> list[int]:
+        """Pages with outstanding entries (diagnostics)."""
+        return list(self._entries)

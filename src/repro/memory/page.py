@@ -1,0 +1,57 @@
+"""Per-page state tracked by the GPU page table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PageState(Enum):
+    """Lifecycle of a 4 KB page from the GPU's point of view.
+
+    INVALID    not resident; an access raises a far-fault.
+    MIGRATING  a far-fault (or prefetch) scheduled a transfer; accesses merge
+               into the existing MSHR entry instead of raising new faults.
+    VALID      resident in device memory; valid flag set in the page table.
+    """
+
+    INVALID = "invalid"
+    MIGRATING = "migrating"
+    VALID = "valid"
+
+
+@dataclass
+class PageTableEntry:
+    """One PTE of the GPU page table.
+
+    ``accessed`` distinguishes demanded pages from prefetched-but-untouched
+    pages; the SLe/TBNe design choice (Section 5.3) puts *all* valid pages in
+    the LRU list, accessed or not.
+    """
+
+    page: int
+    state: PageState = PageState.INVALID
+    dirty: bool = False
+    accessed: bool = False
+    #: Simulated time (ns) of the most recent access, for LRU bookkeeping.
+    last_access_ns: float = 0.0
+    #: How many times this page has been migrated; >1 means thrashing.
+    migration_count: int = 0
+
+    @property
+    def valid(self) -> bool:
+        """True when the valid flag is set (page resident)."""
+        return self.state is PageState.VALID
+
+    def mark_access(self, time_ns: float, is_write: bool) -> None:
+        """Record a read or write access to a valid page."""
+        self.accessed = True
+        self.last_access_ns = time_ns
+        if is_write:
+            self.dirty = True
+
+    def reset_on_eviction(self) -> None:
+        """Clear the flags when the page is evicted from device memory."""
+        self.state = PageState.INVALID
+        self.dirty = False
+        self.accessed = False

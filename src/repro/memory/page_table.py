@@ -1,0 +1,122 @@
+"""The GPU page table.
+
+PTEs are created lazily on first fault (the paper: "new page table entries
+are created in the GPU's page table and upon completion of migration, these
+entries are validated").  The table also exposes the valid-page queries that
+the prefetch/eviction policies need, and models the 100-cycle multi-threaded
+page-table walk of Table 2 as a constant latency.
+"""
+
+from __future__ import annotations
+
+from .. import constants
+from ..errors import PageTableError
+from .addressing import AddressSpace, DEFAULT_ADDRESS_SPACE
+from .page import PageState, PageTableEntry
+
+
+class GpuPageTable:
+    """Page-index keyed PTE store with state-transition checking."""
+
+    def __init__(self, space: AddressSpace | None = None,
+                 walk_cycles: int = constants.PAGE_TABLE_WALK_CYCLES) -> None:
+        self.space = space or DEFAULT_ADDRESS_SPACE
+        self.walk_cycles = walk_cycles
+        self._entries: dict[int, PageTableEntry] = {}
+        self._valid_count = 0
+
+    # --- lookup -------------------------------------------------------------
+    def entry(self, page: int) -> PageTableEntry:
+        """The PTE for ``page``, creating an INVALID one if absent."""
+        pte = self._entries.get(page)
+        if pte is None:
+            pte = PageTableEntry(page)
+            self._entries[page] = pte
+        return pte
+
+    def peek(self, page: int) -> PageTableEntry | None:
+        """The PTE for ``page`` or None; never creates an entry."""
+        return self._entries.get(page)
+
+    def state_of(self, page: int) -> PageState:
+        """Current state of ``page`` (INVALID when no PTE exists)."""
+        pte = self._entries.get(page)
+        return pte.state if pte is not None else PageState.INVALID
+
+    def is_valid(self, page: int) -> bool:
+        """True when ``page`` has its valid flag set."""
+        pte = self._entries.get(page)
+        return pte is not None and pte.state is PageState.VALID
+
+    @property
+    def valid_count(self) -> int:
+        """Number of VALID pages (device-resident, excluding in-flight)."""
+        return self._valid_count
+
+    # --- state transitions ----------------------------------------------------
+    def begin_migration(self, page: int) -> PageTableEntry:
+        """INVALID -> MIGRATING when a transfer for the page is scheduled."""
+        pte = self.entry(page)
+        if pte.state is not PageState.INVALID:
+            raise PageTableError(
+                f"page {page} cannot start migrating from {pte.state}"
+            )
+        pte.state = PageState.MIGRATING
+        return pte
+
+    def complete_migration(self, page: int, time_ns: float) -> PageTableEntry:
+        """MIGRATING -> VALID when the PCI-e transfer completes."""
+        pte = self.entry(page)
+        if pte.state is not PageState.MIGRATING:
+            raise PageTableError(
+                f"page {page} finished migration while {pte.state}"
+            )
+        pte.state = PageState.VALID
+        pte.dirty = False
+        pte.accessed = False
+        pte.last_access_ns = time_ns
+        pte.migration_count += 1
+        self._valid_count += 1
+        return pte
+
+    def invalidate(self, page: int) -> PageTableEntry:
+        """VALID -> INVALID when the page is evicted."""
+        pte = self._entries.get(page)
+        if pte is None or pte.state is not PageState.VALID:
+            state = pte.state if pte is not None else PageState.INVALID
+            raise PageTableError(f"cannot evict page {page} in state {state}")
+        pte.reset_on_eviction()
+        self._valid_count -= 1
+        return pte
+
+    def mark_access(self, page: int, time_ns: float, is_write: bool) -> None:
+        """Set accessed (and dirty on writes) flags of a VALID page."""
+        pte = self._entries.get(page)
+        if pte is None or pte.state is not PageState.VALID:
+            raise PageTableError(f"access to non-valid page {page}")
+        pte.mark_access(time_ns, is_write)
+
+    # --- policy queries -------------------------------------------------------
+    def valid_pages_in_block(self, block: int) -> list[int]:
+        """VALID page indices inside basic block ``block``."""
+        return [p for p in self.space.pages_in_block(block)
+                if self.is_valid(p)]
+
+    def invalid_pages_in_block(self, block: int) -> list[int]:
+        """Pages of ``block`` with no valid flag and no transfer in flight."""
+        return [p for p in self.space.pages_in_block(block)
+                if self.state_of(p) is PageState.INVALID]
+
+    def dirty_pages(self, pages: list[int]) -> list[int]:
+        """Subset of ``pages`` whose dirty flag is set."""
+        out = []
+        for page in pages:
+            pte = self._entries.get(page)
+            if pte is not None and pte.dirty:
+                out.append(page)
+        return out
+
+    def valid_pages(self) -> list[int]:
+        """All VALID page indices (test/diagnostic helper)."""
+        return [p for p, pte in self._entries.items()
+                if pte.state is PageState.VALID]

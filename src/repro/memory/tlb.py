@@ -1,0 +1,58 @@
+"""Per-SM TLB.
+
+The paper models a fully associative TLB with a single-cycle lookup
+(Section 6.1, after Pichai et al.); misses trigger a 100-cycle page-table
+walk by the GMMU.  Entries are invalidated (a shootdown) when the driver
+evicts the page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Tlb:
+    """Fully associative, LRU-replacement TLB over 4 KB page translations."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.capacity = entries
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page: int) -> bool:
+        """True on hit; refreshes LRU position."""
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, page: int) -> None:
+        """Fill a translation, evicting the LRU entry when full."""
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[page] = None
+
+    def invalidate(self, page: int) -> bool:
+        """Shoot down a translation; True when it was cached."""
+        if page in self._entries:
+            del self._entries[page]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop every cached translation."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries

@@ -1,0 +1,85 @@
+"""Named configuration presets for the paper's evaluation settings.
+
+A preset is a function from a workload to a validated
+:class:`~repro.config.SimulatorConfig`, capturing one column of the
+evaluation: the policy pairing, whether the prefetcher survives
+over-subscription, and the memory sizing rule.  Use from code via
+:func:`preset_config` or from the CLI via ``repro run <wl> --preset ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .config import SimulatorConfig, oversubscribed
+from .errors import ConfigurationError
+from .workloads.base import Workload
+
+_Factory = Callable[[Workload], SimulatorConfig]
+
+
+def _fits(**kwargs) -> _Factory:
+    def make(workload: Workload) -> SimulatorConfig:
+        return SimulatorConfig(**kwargs)
+    return make
+
+
+def _oversub(percent: float, **kwargs) -> _Factory:
+    def make(workload: Workload) -> SimulatorConfig:
+        return oversubscribed(workload.footprint_bytes, percent, **kwargs)
+    return make
+
+
+#: Name -> factory.  The ``paper-*`` presets mirror the evaluation columns.
+PRESETS: dict[str, _Factory] = {
+    # No over-subscription (Figures 3-5 conditions).
+    "paper-fits": _fits(prefetcher="tbn", eviction="lru4k"),
+    "paper-fits-ondemand": _fits(prefetcher="none", eviction="lru4k"),
+    # Figure 6/9 baseline: prefetcher gated at capacity, LRU 4KB.
+    "paper-naive-110": _oversub(
+        110.0, prefetcher="tbn", eviction="lru4k",
+        disable_prefetch_on_oversubscription=True,
+    ),
+    # Figure 6 free-page buffer column.
+    "paper-buffer-110": _oversub(
+        110.0, prefetcher="tbn", eviction="lru4k",
+        free_page_buffer_fraction=0.05,
+    ),
+    # Figure 11 pairings.
+    "paper-rerp-110": _oversub(
+        110.0, prefetcher="random", eviction="random",
+        disable_prefetch_on_oversubscription=False,
+    ),
+    "paper-sle-110": _oversub(
+        110.0, prefetcher="sequential-local",
+        eviction="sequential-local",
+        disable_prefetch_on_oversubscription=False,
+    ),
+    "paper-tbne-110": _oversub(
+        110.0, prefetcher="tbn", eviction="tbn",
+        disable_prefetch_on_oversubscription=False,
+    ),
+    # Figure 14: the 10% LRU-head reservation variant.
+    "paper-tbne-r10-110": _oversub(
+        110.0, prefetcher="tbn", eviction="tbn",
+        disable_prefetch_on_oversubscription=False,
+        lru_reservation_fraction=0.10,
+    ),
+    # Figure 15 comparator.
+    "paper-2mb-110": _oversub(
+        110.0, prefetcher="tbn", eviction="lru2mb",
+        disable_prefetch_on_oversubscription=False,
+    ),
+}
+
+
+def preset_config(name: str, workload: Workload) -> SimulatorConfig:
+    """Build the config of preset ``name`` for ``workload``."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(
+            f"unknown preset {name!r}; known: {known}"
+        ) from None
+    return factory(workload)

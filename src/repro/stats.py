@@ -1,0 +1,149 @@
+"""Statistical counters collected during a simulation run.
+
+The paper instruments its simulator with "an array of statistical counters
+to profile different aspects of UVM" (Section 6.1).  :class:`SimStats` is the
+equivalent here: every figure of the evaluation is computed from these
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransferLog:
+    """Aggregate record of one PCI-e channel's traffic."""
+
+    #: transfer size in bytes -> number of transfers of that size
+    histogram: Counter = field(default_factory=Counter)
+    total_bytes: int = 0
+    total_transfers: int = 0
+    #: Sum of transfer latencies (ns); the channel is serialized so this is
+    #: also the channel busy time.
+    busy_time_ns: float = 0.0
+
+    def record(self, size_bytes: int, latency_ns: float) -> None:
+        """Account one completed transfer."""
+        self.histogram[size_bytes] += 1
+        self.total_bytes += size_bytes
+        self.total_transfers += 1
+        self.busy_time_ns += latency_ns
+
+    @property
+    def average_bandwidth_gbps(self) -> float:
+        """Achieved bandwidth while transferring, in GB/s (0 if idle)."""
+        if self.busy_time_ns == 0:
+            return 0.0
+        return self.total_bytes / self.busy_time_ns  # bytes/ns == GB/s
+
+    def transfers_of_size(self, size_bytes: int) -> int:
+        """Number of transfers of exactly ``size_bytes``."""
+        return self.histogram.get(size_bytes, 0)
+
+
+@dataclass
+class AllocationStats:
+    """Per-managed-allocation breakdown of UVM activity."""
+
+    far_faults: int = 0
+    pages_migrated: int = 0
+    pages_prefetched: int = 0
+    pages_evicted: int = 0
+    pages_thrashed: int = 0
+
+
+@dataclass
+class SimStats:
+    """All counters produced by one simulation run."""
+
+    # --- translation -------------------------------------------------------
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    page_table_walks: int = 0
+
+    # --- faults ------------------------------------------------------------
+    far_faults: int = 0
+    fault_batches: int = 0
+    mshr_merges: int = 0
+
+    # --- migration ---------------------------------------------------------
+    pages_migrated: int = 0
+    pages_prefetched: int = 0
+    #: Pages migrated again after having been evicted earlier (thrashing).
+    pages_thrashed: int = 0
+
+    # --- eviction ----------------------------------------------------------
+    pages_evicted: int = 0
+    eviction_events: int = 0
+    pages_written_back: int = 0
+    #: Clean pages dropped without a write-back.
+    pages_dropped_clean: int = 0
+    #: Total nanoseconds migrations spent stalled waiting for free frames.
+    eviction_stall_ns: float = 0.0
+
+    # --- interconnect ------------------------------------------------------
+    h2d: TransferLog = field(default_factory=TransferLog)
+    d2h: TransferLog = field(default_factory=TransferLog)
+
+    # --- time --------------------------------------------------------------
+    #: Wall-clock (simulated ns) per kernel launch, in launch order.
+    kernel_times_ns: list[float] = field(default_factory=list)
+    total_fault_handling_ns: float = 0.0
+
+    # --- traces ------------------------------------------------------------
+    #: Optional (time_ns, page_index, kernel_launch_index) access samples.
+    access_trace: list[tuple[float, int, int]] = field(default_factory=list)
+    #: Optional per-fault-batch samples of
+    #: (time_ns, resident_pages, frames_used, prefetch_enabled).
+    timeline: list[tuple[float, int, int, bool]] = field(
+        default_factory=list
+    )
+    #: Per-allocation activity breakdown, keyed by allocation name.
+    per_allocation: dict[str, AllocationStats] = field(
+        default_factory=dict
+    )
+
+    def allocation(self, name: str) -> AllocationStats:
+        """The (auto-created) per-allocation record for ``name``."""
+        record = self.per_allocation.get(name)
+        if record is None:
+            record = AllocationStats()
+            self.per_allocation[name] = record
+        return record
+
+    @property
+    def total_kernel_time_ns(self) -> float:
+        """Sum of all kernel launch durations."""
+        return sum(self.kernel_times_ns)
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        """TLB hit rate over all lookups (0 when no lookups happened)."""
+        lookups = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / lookups if lookups else 0.0
+
+    @property
+    def transfers_4kb(self) -> int:
+        """Number of 4 KB host-to-device transfers (Figure 7 metric)."""
+        return self.h2d.transfers_of_size(4096)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary used by reports and experiment tables."""
+        return {
+            "total_kernel_time_ns": self.total_kernel_time_ns,
+            "far_faults": self.far_faults,
+            "fault_batches": self.fault_batches,
+            "pages_migrated": self.pages_migrated,
+            "pages_prefetched": self.pages_prefetched,
+            "pages_evicted": self.pages_evicted,
+            "pages_written_back": self.pages_written_back,
+            "pages_thrashed": self.pages_thrashed,
+            "h2d_bandwidth_gbps": self.h2d.average_bandwidth_gbps,
+            "d2h_bandwidth_gbps": self.d2h.average_bandwidth_gbps,
+            "h2d_transfers": self.h2d.total_transfers,
+            "transfers_4kb": self.transfers_4kb,
+            "tlb_hit_rate": self.tlb_hit_rate,
+            "eviction_stall_ns": self.eviction_stall_ns,
+        }

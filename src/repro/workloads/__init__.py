@@ -1,0 +1,42 @@
+"""Benchmark workloads.
+
+Synthetic page-access generators reproducing the access-pattern classes the
+paper's application suite (Section 6.2) exhibits: streaming (backprop,
+pathfinder), iterative stencil reuse (hotspot, srad), random frontier (bfs),
+sparse-but-localized wavefront (nw), and repeated-scan linear algebra
+(gemm).
+"""
+
+from .atax import AtaxWorkload
+from .backprop import BackpropWorkload
+from .base import AddressResolver, Workload
+from .bfs import BfsWorkload
+from .gemm import GemmWorkload
+from .hotspot import HotspotWorkload
+from .kmeans import KmeansWorkload
+from .microbench import MicrobenchWorkload
+from .nw import NeedlemanWunschWorkload
+from .pathfinder import PathfinderWorkload
+from .registry import WORKLOAD_REGISTRY, default_suite, make_workload
+from .srad import SradWorkload
+from .trace import TraceWorkload, export_trace
+
+__all__ = [
+    "AddressResolver",
+    "Workload",
+    "AtaxWorkload",
+    "BackpropWorkload",
+    "BfsWorkload",
+    "GemmWorkload",
+    "HotspotWorkload",
+    "KmeansWorkload",
+    "MicrobenchWorkload",
+    "NeedlemanWunschWorkload",
+    "PathfinderWorkload",
+    "SradWorkload",
+    "TraceWorkload",
+    "export_trace",
+    "WORKLOAD_REGISTRY",
+    "default_suite",
+    "make_workload",
+]

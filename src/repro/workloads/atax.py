@@ -1,0 +1,90 @@
+"""atax (PolyBench): A^T * (A * x).
+
+Not part of the paper's seven-benchmark suite; included as an extra
+PolyBench-style pattern: the matrix A is scanned twice (once per product,
+the second time column-wise, i.e. strided), the vectors are tiny and hot.
+The strided second pass is hostile to purely sequential prefetching —
+useful as a stress pattern for SLp vs TBNp.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class AtaxWorkload(Workload):
+    """Row-major scan of A, then a strided (column-order) rescan."""
+
+    name = "atax"
+    pattern = "dense scan + strided rescan of the same matrix"
+
+    def __init__(self, scale: float = 1.0, warps_per_tb: int = 4,
+                 pages_per_warp: int = 16) -> None:
+        self.matrix_rows = max(8, int(40 * scale))
+        self.row_pages = max(8, int(40 * scale))
+        self.vector_pages = max(2, self.row_pages // 4)
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("a", self.matrix_rows * self.row_pages * PAGE),
+            AllocationSpec("x", self.vector_pages * PAGE),
+            AllocationSpec("y", self.vector_pages * PAGE),
+            AllocationSpec("tmp", self.vector_pages * PAGE),
+        ]
+
+    def _matrix_page(self, resolver: AddressResolver, row: int,
+                     col: int) -> int:
+        return resolver.page("a", row * self.row_pages + col)
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        yield self._first_product(resolver)
+        yield self._second_product(resolver)
+
+    def _first_product(self, resolver: AddressResolver) -> KernelSpec:
+        """tmp = A * x: row-major streaming over A."""
+        accesses: list[Access] = []
+        for row in range(self.matrix_rows):
+            for col in range(self.row_pages):
+                accesses.append((self._matrix_page(resolver, row, col),
+                                 False))
+                if col % 8 == 0:
+                    x_page = col * self.vector_pages // self.row_pages
+                    accesses.append((resolver.page("x", x_page), False))
+            tmp_page = row * self.vector_pages // self.matrix_rows
+            accesses.append((resolver.page("tmp", tmp_page), True))
+        streams = self.chunked_warp_streams(accesses,
+                                            2 * self.pages_per_warp)
+        return KernelSpec(
+            "atax_ax",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=0,
+        )
+
+    def _second_product(self, resolver: AddressResolver) -> KernelSpec:
+        """y = A^T * tmp: column-order (strided) rescan of A."""
+        accesses: list[Access] = []
+        for col in range(self.row_pages):
+            for row in range(self.matrix_rows):
+                accesses.append((self._matrix_page(resolver, row, col),
+                                 False))
+                if row % 8 == 0:
+                    tmp_page = row * self.vector_pages // self.matrix_rows
+                    accesses.append((resolver.page("tmp", tmp_page),
+                                     False))
+            y_page = col * self.vector_pages // self.row_pages
+            accesses.append((resolver.page("y", y_page), True))
+        streams = self.chunked_warp_streams(accesses,
+                                            2 * self.pages_per_warp)
+        return KernelSpec(
+            "atax_aty",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=1,
+        )

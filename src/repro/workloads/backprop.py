@@ -1,0 +1,79 @@
+"""backprop (Rodinia): streaming two-layer network training.
+
+Pattern class (Section 7.1): "streaming memory access pattern ... scan a
+large vector in parts sequentially and do not reuse data across different
+iterations".  The forward kernel scans the input and layer-1 weights; the
+backward kernel scans the layer-2 weights and writes deltas.  The big
+arrays are touched once each, so the workload shows no sensitivity to the
+eviction policy, over-subscription percentage, or LRU reservation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class BackpropWorkload(Workload):
+    """Streaming forward + backward passes over layer weights."""
+
+    name = "backprop"
+    pattern = "streaming, no cross-kernel reuse"
+
+    def __init__(self, scale: float = 1.0, warps_per_tb: int = 4,
+                 pages_per_warp: int = 16) -> None:
+        self.input_pages = max(16, int(512 * scale))
+        self.hidden_pages = max(4, int(64 * scale))
+        self.weights1_pages = max(16, int(1280 * scale))
+        self.weights2_pages = max(16, int(1280 * scale))
+        self.delta_pages = max(16, int(256 * scale))
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("input", self.input_pages * PAGE),
+            AllocationSpec("hidden", self.hidden_pages * PAGE),
+            AllocationSpec("weights1", self.weights1_pages * PAGE),
+            AllocationSpec("weights2", self.weights2_pages * PAGE),
+            AllocationSpec("delta", self.delta_pages * PAGE),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        yield self._forward(resolver)
+        yield self._backward(resolver)
+
+    def _forward(self, resolver: AddressResolver) -> KernelSpec:
+        accesses: list[Access] = []
+        for page in range(self.input_pages):
+            accesses.append((resolver.page("input", page), False))
+        for page in range(self.weights1_pages):
+            accesses.append((resolver.page("weights1", page), False))
+        for page in range(self.hidden_pages):
+            accesses.append((resolver.page("hidden", page), True))
+        streams = self.chunked_warp_streams(accesses, self.pages_per_warp)
+        return KernelSpec(
+            "backprop_forward",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=0,
+        )
+
+    def _backward(self, resolver: AddressResolver) -> KernelSpec:
+        accesses: list[Access] = []
+        for page in range(self.hidden_pages):
+            accesses.append((resolver.page("hidden", page), False))
+        for page in range(self.weights2_pages):
+            accesses.append((resolver.page("weights2", page), False))
+        for page in range(self.delta_pages):
+            accesses.append((resolver.page("delta", page), True))
+        streams = self.chunked_warp_streams(accesses, self.pages_per_warp)
+        return KernelSpec(
+            "backprop_backward",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=1,
+        )

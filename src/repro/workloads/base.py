@@ -1,0 +1,127 @@
+"""Workload abstraction.
+
+A workload declares its managed allocations and generates the kernel
+launches of its (possibly iterative) execution.  Kernels are built from
+allocation-relative page offsets and resolved to global page indices through
+an :class:`AddressResolver` bound to the simulator's allocator, so workload
+code never deals with raw virtual addresses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from ..errors import WorkloadError
+from ..gpu.kernel import Access, KernelSpec, ThreadBlockSpec, WarpSpec
+from ..memory.allocation import AllocationSpec
+from ..memory.allocator import ManagedAllocator
+
+
+class AddressResolver:
+    """Maps (allocation name, page offset) to global page indices."""
+
+    def __init__(self, allocator: ManagedAllocator) -> None:
+        self._bases: dict[str, tuple[int, int]] = {}
+        for alloc in allocator.allocations:
+            self._bases[alloc.name] = (alloc.page_range[0], alloc.num_pages)
+
+    def page(self, name: str, page_offset: int) -> int:
+        """Global page index of the ``page_offset``-th page of ``name``."""
+        try:
+            base, count = self._bases[name]
+        except KeyError:
+            raise WorkloadError(f"unknown allocation {name!r}") from None
+        if not 0 <= page_offset < count:
+            raise WorkloadError(
+                f"page offset {page_offset} outside {name!r} "
+                f"({count} pages)"
+            )
+        return base + page_offset
+
+    def num_pages(self, name: str) -> int:
+        """Number of pages in allocation ``name``."""
+        try:
+            return self._bases[name][1]
+        except KeyError:
+            raise WorkloadError(f"unknown allocation {name!r}") from None
+
+
+class Workload(ABC):
+    """One benchmark: allocations plus an iterator of kernel launches."""
+
+    #: Registry key.
+    name: str = "abstract"
+    #: One-line description of the access pattern class.
+    pattern: str = ""
+
+    @abstractmethod
+    def allocations(self) -> list[AllocationSpec]:
+        """The managed buffers this workload allocates up front."""
+
+    @abstractmethod
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        """Generate kernel launches in order."""
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total requested bytes — the working-set size."""
+        return sum(spec.size_bytes for spec in self.allocations())
+
+    def __repr__(self) -> str:
+        mb = self.footprint_bytes / (1024 * 1024)
+        return f"<{type(self).__name__} {self.name!r} {mb:.1f}MB>"
+
+    # --- kernel-building helpers ------------------------------------------------
+    @staticmethod
+    def pack_thread_blocks(
+        warp_streams: Iterable[list[Access]],
+        warps_per_tb: int = 4,
+    ) -> list[ThreadBlockSpec]:
+        """Group per-warp access streams into thread blocks.
+
+        Empty streams are dropped; the final block may hold fewer warps.
+        """
+        if warps_per_tb <= 0:
+            raise WorkloadError("warps_per_tb must be positive")
+        blocks: list[ThreadBlockSpec] = []
+        bucket: list[WarpSpec] = []
+        for stream in warp_streams:
+            if not stream:
+                continue
+            bucket.append(WarpSpec(stream))
+            if len(bucket) == warps_per_tb:
+                blocks.append(ThreadBlockSpec(bucket))
+                bucket = []
+        if bucket:
+            blocks.append(ThreadBlockSpec(bucket))
+        if not blocks:
+            raise WorkloadError("workload generated an empty kernel")
+        return blocks
+
+    @staticmethod
+    def strided_warp_streams(
+        pages: list[Access], num_warps: int
+    ) -> list[list[Access]]:
+        """Deal a page list round-robin onto ``num_warps`` warps.
+
+        Models how consecutive warps of a grid cover adjacent data: warp w
+        gets pages w, w+N, w+2N, ... — the GPU-typical interleaving that
+        makes neighbouring pages hot at the same time.
+        """
+        if num_warps <= 0:
+            raise WorkloadError("num_warps must be positive")
+        streams: list[list[Access]] = [[] for _ in range(num_warps)]
+        for index, access in enumerate(pages):
+            streams[index % num_warps].append(access)
+        return streams
+
+    @staticmethod
+    def chunked_warp_streams(
+        pages: list[Access], pages_per_warp: int
+    ) -> list[list[Access]]:
+        """Split a page list into contiguous per-warp chunks."""
+        if pages_per_warp <= 0:
+            raise WorkloadError("pages_per_warp must be positive")
+        return [pages[i:i + pages_per_warp]
+                for i in range(0, len(pages), pages_per_warp)]

@@ -1,0 +1,96 @@
+"""bfs (Rodinia): frontier-based breadth-first search.
+
+Pattern class: "random page access pattern" with reuse.  Each level visits
+a pseudo-random *clustered* frontier of node pages (Rodinia numbers nodes
+level-wise, so a BFS frontier occupies runs of consecutive node ids) and
+chases that node run's adjacency lists, which sit contiguously in the edge
+array.  Frontier placement is random across levels — that randomness is
+what defeats purely sequential prefetching — while the node array is
+re-consulted across levels (cross-level reuse).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class BfsWorkload(Workload):
+    """Level-synchronous BFS over a synthetic level-ordered graph."""
+
+    name = "bfs"
+    pattern = "random clustered frontier over nodes + edges, reuse"
+
+    def __init__(self, scale: float = 1.0, levels: int = 10,
+                 frontier_fraction: float = 0.3, cluster_pages: int = 4,
+                 seed: int = 12345, warps_per_tb: int = 4,
+                 pages_per_warp: int = 8) -> None:
+        self.node_pages = max(16, int(512 * scale))
+        #: Edge array is ~3.5x the node array (average degree).
+        self.edge_pages = max(64, int(1792 * scale))
+        self.visited_pages = self.node_pages
+        self.levels = levels
+        self.frontier_fraction = frontier_fraction
+        self.cluster_pages = cluster_pages
+        self.seed = seed
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("nodes", self.node_pages * PAGE),
+            AllocationSpec("edges", self.edge_pages * PAGE),
+            AllocationSpec("visited", self.visited_pages * PAGE),
+        ]
+
+    def _edge_run(self, node_page: int) -> range:
+        """Edge pages holding the adjacency lists of one node page.
+
+        Nodes are numbered level-wise, so node page ``n``'s edges occupy a
+        contiguous run at the proportional position of the edge array.
+        """
+        ratio = self.edge_pages / self.node_pages
+        first = min(int(node_page * ratio), self.edge_pages - 1)
+        length = max(1, int(ratio))
+        last = min(first + length, self.edge_pages)
+        return range(first, last)
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        rng = random.Random(self.seed)
+        clusters_per_level = max(
+            1,
+            int(self.node_pages * self.frontier_fraction)
+            // self.cluster_pages,
+        )
+        for level in range(self.levels):
+            accesses: list[Access] = []
+            for _ in range(clusters_per_level):
+                start = rng.randrange(
+                    max(1, self.node_pages - self.cluster_pages)
+                )
+                for node_page in range(start,
+                                       start + self.cluster_pages):
+                    accesses.append(
+                        (resolver.page("nodes", node_page), False)
+                    )
+                    for edge_page in self._edge_run(node_page):
+                        accesses.append(
+                            (resolver.page("edges", edge_page), False)
+                        )
+                    accesses.append(
+                        (resolver.page("visited", node_page), True)
+                    )
+            streams = self.chunked_warp_streams(
+                accesses, 5 * self.pages_per_warp
+            )
+            yield KernelSpec(
+                f"bfs_level{level}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=level,
+            )

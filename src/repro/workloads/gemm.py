@@ -1,0 +1,65 @@
+"""gemm (PolyBench): dense matrix multiply C = A x B.
+
+Pattern class: "access pages once but transfer multiple distinct pages" for
+A and C, while B is re-scanned once per row-block of A — the classic
+repetitive linear access that LRU handles pathologically (Section 5.3: "if
+there are N pages in the LRU page list, a CUDA kernel executing a loop over
+an array of N+1 pages will face a far-fault on each and every access").
+The LRU-head reservation optimization (Section 7.4) exists for exactly this
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class GemmWorkload(Workload):
+    """Row-block matrix multiply: B re-scanned per row block of A."""
+
+    name = "gemm"
+    pattern = "repeated full scans of B; A and C streamed once"
+
+    def __init__(self, scale: float = 1.0, row_blocks: int = 8,
+                 warps_per_tb: int = 4, pages_per_warp: int = 16) -> None:
+        self.a_pages = max(row_blocks, int(1024 * scale))
+        self.b_pages = max(32, int(1024 * scale))
+        self.c_pages = self.a_pages
+        self.row_blocks = row_blocks
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("a", self.a_pages * PAGE),
+            AllocationSpec("b", self.b_pages * PAGE),
+            AllocationSpec("c", self.c_pages * PAGE),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        block_pages = self.a_pages // self.row_blocks
+        for block in range(self.row_blocks):
+            accesses: list[Access] = []
+            first = block * block_pages
+            last = self.a_pages if block == self.row_blocks - 1 \
+                else first + block_pages
+            for page in range(first, last):
+                accesses.append((resolver.page("a", page), False))
+            for page in range(self.b_pages):
+                accesses.append((resolver.page("b", page), False))
+            for page in range(first, last):
+                accesses.append((resolver.page("c", page), True))
+            streams = self.chunked_warp_streams(
+                accesses, 2 * self.pages_per_warp
+            )
+            yield KernelSpec(
+                f"gemm_rowblock{block}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=block,
+            )

@@ -1,0 +1,60 @@
+"""hotspot (Rodinia): iterative 2D thermal stencil.
+
+Pattern class: dense sequential access over a full grid, repeated every
+kernel launch — "migrating pages once over the interconnect but repeatedly
+access them per iteration".  Under over-subscription the whole working set
+is live every iteration, so locality-unaware eviction causes thrashing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class HotspotWorkload(Workload):
+    """Ping-pong stencil over temperature + power grids."""
+
+    name = "hotspot"
+    pattern = "iterative stencil, full-grid reuse per launch"
+
+    def __init__(self, scale: float = 1.0, iterations: int = 6,
+                 warps_per_tb: int = 4, pages_per_warp: int = 16) -> None:
+        self.grid_pages = max(32, int(1024 * scale))
+        self.iterations = iterations
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        size = self.grid_pages * PAGE
+        return [
+            AllocationSpec("temp_a", size),
+            AllocationSpec("temp_b", size),
+            AllocationSpec("power", size),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        for it in range(self.iterations):
+            src = "temp_a" if it % 2 == 0 else "temp_b"
+            dst = "temp_b" if it % 2 == 0 else "temp_a"
+            accesses: list[Access] = []
+            for page in range(self.grid_pages):
+                accesses.append((resolver.page(src, page), False))
+                # Stencil halo: the row above (one page back) is re-read.
+                if page > 0:
+                    accesses.append((resolver.page(src, page - 1), False))
+                accesses.append((resolver.page("power", page), False))
+                accesses.append((resolver.page(dst, page), True))
+            streams = self.chunked_warp_streams(
+                accesses, 4 * self.pages_per_warp
+            )
+            yield KernelSpec(
+                f"hotspot_iter{it}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=it,
+            )

@@ -1,0 +1,78 @@
+"""kmeans (Rodinia): iterative clustering.
+
+Not part of the paper's seven-benchmark suite; included as an extra
+Rodinia-style pattern: a large point array streamed every iteration plus a
+small, extremely hot centroid array — "intensive computation with
+iterative kernel launches" with a working set that is mostly
+streaming-with-reuse.  Useful for exercising the LRU-reservation
+optimization (the centroids are exactly what the reservation protects).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class KmeansWorkload(Workload):
+    """Per-iteration full scan of points + hot centroid reads."""
+
+    name = "kmeans"
+    pattern = "full point-array scan per iteration, hot centroid pages"
+
+    def __init__(self, scale: float = 1.0, iterations: int = 5,
+                 centroid_touches: int = 4, warps_per_tb: int = 4,
+                 pages_per_warp: int = 16) -> None:
+        self.point_pages = max(64, int(2048 * scale))
+        self.centroid_pages = max(2, int(16 * scale))
+        self.membership_pages = max(8, int(128 * scale))
+        self.iterations = iterations
+        self.centroid_touches = centroid_touches
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("points", self.point_pages * PAGE),
+            AllocationSpec("centroids", self.centroid_pages * PAGE),
+            AllocationSpec("membership", self.membership_pages * PAGE),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        for it in range(self.iterations):
+            accesses: list[Access] = []
+            membership_stride = max(
+                1, self.point_pages // self.membership_pages
+            )
+            for page in range(self.point_pages):
+                accesses.append((resolver.page("points", page), False))
+                # Every point chunk consults the centroids repeatedly.
+                if page % 4 == 0:
+                    for t in range(self.centroid_touches):
+                        centroid = (page // 4 + t) % self.centroid_pages
+                        accesses.append(
+                            (resolver.page("centroids", centroid), False)
+                        )
+                if page % membership_stride == 0:
+                    member = min(page // membership_stride,
+                                 self.membership_pages - 1)
+                    accesses.append(
+                        (resolver.page("membership", member), True)
+                    )
+            # Centroid update at the end of the iteration.
+            for centroid in range(self.centroid_pages):
+                accesses.append((resolver.page("centroids", centroid),
+                                 True))
+            streams = self.chunked_warp_streams(
+                accesses, 3 * self.pages_per_warp
+            )
+            yield KernelSpec(
+                f"kmeans_iter{it}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=it,
+            )

@@ -1,0 +1,66 @@
+"""Microbenchmarks that uncover the hardware prefetcher semantics.
+
+The paper "created a set of micro-benchmarks to uncover the exact mechanics
+of the locality-aware tree-based neighborhood prefetcher" by touching chosen
+64 KB basic blocks of a small allocation and profiling the resulting
+migrations.  :class:`MicrobenchWorkload` reproduces that methodology: one
+warp touches the first page of each listed basic block, one kernel per
+touch, so the per-fault prefetch decisions are observable in isolation.
+
+Presets encode the two Figure 2 walkthroughs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .. import constants
+from ..errors import WorkloadError
+from ..gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+
+class MicrobenchWorkload(Workload):
+    """Touch the first page of chosen basic blocks, one kernel each."""
+
+    name = "microbench"
+    pattern = "single-warp probes of chosen 64KB basic blocks"
+
+    def __init__(self, block_order: list[int],
+                 allocation_bytes: int = 512 * constants.KIB) -> None:
+        if not block_order:
+            raise WorkloadError("block_order cannot be empty")
+        self.block_order = list(block_order)
+        self.allocation_bytes = allocation_bytes
+        pages_per_block = constants.PAGES_PER_BLOCK
+        max_block = allocation_bytes // constants.BASIC_BLOCK_SIZE
+        for block in block_order:
+            if not 0 <= block < max_block:
+                raise WorkloadError(
+                    f"block {block} outside the {max_block}-block allocation"
+                )
+        self._pages_per_block = pages_per_block
+
+    @classmethod
+    def figure2a(cls) -> "MicrobenchWorkload":
+        """First Figure 2 access pattern: blocks 1, 3, 5, 7, then 0."""
+        return cls([1, 3, 5, 7, 0])
+
+    @classmethod
+    def figure2b(cls) -> "MicrobenchWorkload":
+        """Second Figure 2 access pattern: blocks 1, 3, 0, then 4."""
+        return cls([1, 3, 0, 4])
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [AllocationSpec("probe", self.allocation_bytes)]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        for index, block in enumerate(self.block_order):
+            page = resolver.page("probe", block * self._pages_per_block)
+            warp = WarpSpec([(page, False)])
+            yield KernelSpec(
+                f"probe_block{block}",
+                [ThreadBlockSpec([warp])],
+                iteration=index,
+            )

@@ -1,0 +1,120 @@
+"""nw (Rodinia): Needleman-Wunsch wavefront dynamic programming.
+
+Pattern class (Section 7.2, Figure 12): "in every cycle, a set of pages,
+which are spaced far apart in the virtual address space, are accessed
+repeatedly over time ... the memory access is sparse yet localized and
+repeated over time".
+
+Structure mirrors Rodinia's nw: a score matrix and a reference matrix,
+processed as two wavefront passes — a forward fill over anti-diagonals
+(kernel ``needle_1``), then a backward pass over the same diagonals in
+reverse (kernel ``needle_2``).  Iteration ``d`` touches one page per active
+row — pages a whole matrix row apart — and re-reads the neighbouring
+diagonal.  The backward pass revives pages the forward pass touched long
+ago, so evicting in large chunks (TBNe cascades, 2 MB units) thrashes: this
+is the paper's counter-example where SLe+SLp beats TBNe+TBNp (Section 7.2)
+and where higher over-subscription degrades performance super-linearly
+(Section 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class NeedlemanWunschWorkload(Workload):
+    """Forward + backward anti-diagonal wavefronts over two matrices."""
+
+    name = "nw"
+    pattern = "wavefront: sparse, far-spaced pages, repeated per diagonal"
+
+    def __init__(self, scale: float = 1.0, warps_per_tb: int = 4,
+                 touches_per_cell: int = 2) -> None:
+        self.matrix_rows = max(8, int(40 * scale))
+        self.row_pages = max(8, int(40 * scale))
+        self.touches_per_cell = touches_per_cell
+        self.warps_per_tb = warps_per_tb
+
+    def allocations(self) -> list[AllocationSpec]:
+        size = self.matrix_rows * self.row_pages * PAGE
+        return [
+            AllocationSpec("matrix", size),
+            AllocationSpec("reference", size),
+        ]
+
+    @property
+    def num_diagonals(self) -> int:
+        return self.matrix_rows + self.row_pages - 1
+
+    def _page(self, resolver: AddressResolver, name: str, row: int,
+              col: int) -> int:
+        return resolver.page(name, row * self.row_pages + col)
+
+    def _diagonal_cells(self, diag: int) -> list[tuple[int, int]]:
+        row_lo = max(0, diag - self.row_pages + 1)
+        row_hi = min(self.matrix_rows - 1, diag)
+        return [(row, diag - row) for row in range(row_lo, row_hi + 1)]
+
+    def _forward_kernel(self, resolver: AddressResolver,
+                        diag: int, iteration: int) -> KernelSpec:
+        cells: list[list[Access]] = []
+        for row, col in self._diagonal_cells(diag):
+            cell: list[Access] = []
+            for _ in range(self.touches_per_cell):
+                cell.append((self._page(resolver, "reference", row, col),
+                             False))
+                if col > 0:
+                    cell.append((self._page(resolver, "matrix", row,
+                                            col - 1), False))
+                if row > 0:
+                    cell.append((self._page(resolver, "matrix", row - 1,
+                                            col), False))
+                cell.append((self._page(resolver, "matrix", row, col),
+                             True))
+            cells.append(cell)
+        return KernelSpec(
+            f"nw_fwd_diag{diag}",
+            self.pack_thread_blocks(cells, self.warps_per_tb),
+            iteration=iteration,
+        )
+
+    def _backward_kernel(self, resolver: AddressResolver,
+                         diag: int, iteration: int) -> KernelSpec:
+        """Traceback: each cell compares its three predecessors (left, up,
+        diagonal) plus the reference score, walking diagonals in reverse."""
+        cells: list[list[Access]] = []
+        for row, col in self._diagonal_cells(diag):
+            cell: list[Access] = [
+                (self._page(resolver, "reference", row, col), False),
+                (self._page(resolver, "matrix", row, col), False),
+            ]
+            if col + 1 < self.row_pages:
+                cell.append((self._page(resolver, "matrix", row, col + 1),
+                             False))
+            if row + 1 < self.matrix_rows:
+                cell.append((self._page(resolver, "matrix", row + 1, col),
+                             False))
+            if col + 1 < self.row_pages and row + 1 < self.matrix_rows:
+                cell.append((self._page(resolver, "matrix", row + 1,
+                                        col + 1), False))
+            cells.append(cell)
+        return KernelSpec(
+            f"nw_bwd_diag{diag}",
+            self.pack_thread_blocks(cells, self.warps_per_tb),
+            iteration=iteration,
+        )
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        iteration = 0
+        for diag in range(self.num_diagonals):
+            yield self._forward_kernel(resolver, diag, iteration)
+            iteration += 1
+        for diag in range(self.num_diagonals - 1, -1, -1):
+            yield self._backward_kernel(resolver, diag, iteration)
+            iteration += 1

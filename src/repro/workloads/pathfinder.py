@@ -1,0 +1,60 @@
+"""pathfinder (Rodinia): row-by-row dynamic programming over a grid.
+
+Pattern class: streaming.  Iteration ``i`` reads wall row ``i`` and the
+previous result row and writes the next result row; a row is dead two
+iterations after it is produced, so nothing is reused across the sweep and
+the workload is insensitive to eviction policy and over-subscription.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class PathfinderWorkload(Workload):
+    """Streaming row sweep: one kernel launch per grid row."""
+
+    name = "pathfinder"
+    pattern = "streaming, iterative row sweep"
+
+    def __init__(self, scale: float = 1.0, warps_per_tb: int = 4,
+                 pages_per_warp: int = 8) -> None:
+        self.rows = max(4, int(44 * scale))
+        self.row_pages = max(8, int(64 * scale))
+        #: Two ping-pong result rows.
+        self.result_pages = 2 * self.row_pages
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("wall", self.rows * self.row_pages * PAGE),
+            AllocationSpec("result", self.result_pages * PAGE),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        for row in range(self.rows):
+            accesses: list[Access] = []
+            src_row = (row % 2) * self.row_pages
+            dst_row = ((row + 1) % 2) * self.row_pages
+            for col in range(self.row_pages):
+                wall = resolver.page("wall", row * self.row_pages + col)
+                accesses.append((wall, False))
+                accesses.append((resolver.page("result", src_row + col),
+                                 False))
+                accesses.append((resolver.page("result", dst_row + col),
+                                 True))
+            streams = self.chunked_warp_streams(
+                accesses, 3 * self.pages_per_warp
+            )
+            yield KernelSpec(
+                f"pathfinder_row{row}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=row,
+            )

@@ -1,0 +1,75 @@
+"""srad (Rodinia): speckle-reducing anisotropic diffusion.
+
+Pattern class: two dense kernels per iteration over the same image —
+compute diffusion coefficients, then update the image — so both arrays are
+reused every iteration and across iterations.  Like hotspot it thrashes
+under locality-unaware eviction, with twice the kernel-launch pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class SradWorkload(Workload):
+    """Two-kernel-per-iteration diffusion over image + coefficient grids."""
+
+    name = "srad"
+    pattern = "iterative, two dense kernels per iteration, heavy reuse"
+
+    def __init__(self, scale: float = 1.0, iterations: int = 4,
+                 warps_per_tb: int = 4, pages_per_warp: int = 16) -> None:
+        self.image_pages = max(32, int(1280 * scale))
+        self.coeff_pages = self.image_pages
+        self.iterations = iterations
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [
+            AllocationSpec("image", self.image_pages * PAGE),
+            AllocationSpec("coeff", self.coeff_pages * PAGE),
+        ]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        for it in range(self.iterations):
+            yield self._coefficient_kernel(resolver, it)
+            yield self._update_kernel(resolver, it)
+
+    def _coefficient_kernel(self, resolver: AddressResolver,
+                            it: int) -> KernelSpec:
+        accesses: list[Access] = []
+        for page in range(self.image_pages):
+            accesses.append((resolver.page("image", page), False))
+            accesses.append((resolver.page("coeff", page), True))
+        streams = self.chunked_warp_streams(
+            accesses, 2 * self.pages_per_warp
+        )
+        return KernelSpec(
+            f"srad_coeff_iter{it}",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=it,
+        )
+
+    def _update_kernel(self, resolver: AddressResolver,
+                       it: int) -> KernelSpec:
+        accesses: list[Access] = []
+        for page in range(self.image_pages):
+            accesses.append((resolver.page("coeff", page), False))
+            if page + 1 < self.coeff_pages:
+                accesses.append((resolver.page("coeff", page + 1), False))
+            accesses.append((resolver.page("image", page), True))
+        streams = self.chunked_warp_streams(
+            accesses, 3 * self.pages_per_warp
+        )
+        return KernelSpec(
+            f"srad_update_iter{it}",
+            self.pack_thread_blocks(streams, self.warps_per_tb),
+            iteration=it,
+        )

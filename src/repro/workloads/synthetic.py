@@ -1,0 +1,125 @@
+"""Parametric synthetic workloads for experiments and tests.
+
+These complement the seven named benchmarks with directly controllable
+access shapes: pure streaming, uniform random, strided, and cyclic re-scan
+(the LRU-pathological loop of Section 5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import WorkloadError
+from ..gpu.kernel import Access, KernelSpec
+from ..memory.allocation import AllocationSpec
+from .base import AddressResolver, Workload
+
+PAGE = 4096
+
+
+class SyntheticWorkload(Workload):
+    """Base for single-allocation synthetic patterns."""
+
+    def __init__(self, pages: int, iterations: int = 1,
+                 write_fraction: float = 0.25, warps_per_tb: int = 4,
+                 pages_per_warp: int = 16, seed: int = 7) -> None:
+        if pages <= 0:
+            raise WorkloadError("pages must be positive")
+        if iterations <= 0:
+            raise WorkloadError("iterations must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be in [0, 1]")
+        self.pages = pages
+        self.iterations = iterations
+        self.write_fraction = write_fraction
+        self.warps_per_tb = warps_per_tb
+        self.pages_per_warp = pages_per_warp
+        self.seed = seed
+
+    def allocations(self) -> list[AllocationSpec]:
+        return [AllocationSpec("data", self.pages * PAGE)]
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        rng = random.Random(self.seed)
+        for it in range(self.iterations):
+            offsets = self.page_offsets(it, rng)
+            accesses: list[Access] = [
+                (resolver.page("data", off),
+                 rng.random() < self.write_fraction)
+                for off in offsets
+            ]
+            streams = self.chunked_warp_streams(accesses,
+                                                self.pages_per_warp)
+            yield KernelSpec(
+                f"{self.name}_iter{it}",
+                self.pack_thread_blocks(streams, self.warps_per_tb),
+                iteration=it,
+            )
+
+    def page_offsets(self, iteration: int,
+                     rng: random.Random) -> list[int]:
+        """Page offsets touched in one iteration (override per pattern)."""
+        raise NotImplementedError
+
+
+class StreamingWorkload(SyntheticWorkload):
+    """Sequential scan; each iteration covers a disjoint slice."""
+
+    name = "synthetic-streaming"
+    pattern = "sequential, no reuse"
+
+    def page_offsets(self, iteration: int,
+                     rng: random.Random) -> list[int]:
+        slice_pages = self.pages // self.iterations
+        first = iteration * slice_pages
+        last = self.pages if iteration == self.iterations - 1 \
+            else first + slice_pages
+        return list(range(first, last))
+
+
+class CyclicScanWorkload(SyntheticWorkload):
+    """Full sequential scan repeated every iteration (LRU-pathological)."""
+
+    name = "synthetic-cyclic"
+    pattern = "repeated full linear scans"
+
+    def page_offsets(self, iteration: int,
+                     rng: random.Random) -> list[int]:
+        return list(range(self.pages))
+
+
+class RandomWorkload(SyntheticWorkload):
+    """Uniformly random page touches."""
+
+    name = "synthetic-random"
+    pattern = "uniform random"
+
+    def __init__(self, pages: int, touches_per_iteration: int | None = None,
+                 **kwargs) -> None:
+        super().__init__(pages, **kwargs)
+        self.touches = touches_per_iteration or pages
+
+    def page_offsets(self, iteration: int,
+                     rng: random.Random) -> list[int]:
+        return [rng.randrange(self.pages) for _ in range(self.touches)]
+
+
+class StridedWorkload(SyntheticWorkload):
+    """Fixed-stride page touches (column scans of a row-major matrix)."""
+
+    name = "synthetic-strided"
+    pattern = "fixed stride"
+
+    def __init__(self, pages: int, stride: int = 16, **kwargs) -> None:
+        super().__init__(pages, **kwargs)
+        if stride <= 0:
+            raise WorkloadError("stride must be positive")
+        self.stride = stride
+
+    def page_offsets(self, iteration: int,
+                     rng: random.Random) -> list[int]:
+        offsets = []
+        for lane in range(self.stride):
+            offsets.extend(range(lane, self.pages, self.stride))
+        return offsets

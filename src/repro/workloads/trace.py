@@ -1,0 +1,121 @@
+"""Trace export and replay.
+
+Any workload's kernel launches can be exported to a JSON-lines trace (one
+record per kernel with its per-warp page-offset streams) and replayed later
+with :class:`TraceWorkload` — useful for sharing reproducible inputs, for
+regression-pinning a workload's exact access sequence, and for feeding
+externally captured page traces (e.g. from a real UVM profiler) into the
+simulator.
+
+Offsets in a trace are (allocation name, page offset) pairs, so traces are
+position-independent: they replay correctly wherever the allocator places
+the buffers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import WorkloadError
+from ..gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from ..memory.allocation import AllocationSpec
+from ..memory.allocator import ManagedAllocator
+from .base import AddressResolver, Workload
+
+FORMAT_VERSION = 1
+
+
+def export_trace(workload: Workload, path: str | Path) -> int:
+    """Write a workload's kernels to a JSONL trace; returns kernel count.
+
+    The first line is a header with allocation sizes; each following line
+    is one kernel launch.
+    """
+    allocator = ManagedAllocator()
+    specs = workload.allocations()
+    for spec in specs:
+        allocator.malloc_managed(spec.name, spec.size_bytes)
+    resolver = AddressResolver(allocator)
+    base_of = {spec.name: allocator.get(spec.name).page_range[0]
+               for spec in specs}
+
+    def to_offset(page: int) -> list:
+        for name, base in base_of.items():
+            count = resolver.num_pages(name)
+            if base <= page < base + count:
+                return [name, page - base]
+        raise WorkloadError(f"page {page} not inside any allocation")
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "version": FORMAT_VERSION,
+            "workload": workload.name,
+            "allocations": [[s.name, s.size_bytes] for s in specs],
+        }
+        fh.write(json.dumps(header) + "\n")
+        for kernel in workload.kernel_specs(resolver):
+            record = {
+                "name": kernel.name,
+                "iteration": kernel.iteration,
+                "thread_blocks": [
+                    [
+                        [[*to_offset(page), int(is_write)]
+                         for page, is_write in warp.accesses]
+                        for warp in tb.warps
+                    ]
+                    for tb in kernel.thread_blocks
+                ],
+            }
+            fh.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+class TraceWorkload(Workload):
+    """Replays a JSONL trace produced by :func:`export_trace`."""
+
+    name = "trace"
+    pattern = "replayed trace"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with open(self.path, encoding="utf-8") as fh:
+            header_line = fh.readline()
+        if not header_line:
+            raise WorkloadError(f"empty trace file {self.path}")
+        header = json.loads(header_line)
+        if header.get("version") != FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        self.source_workload = header.get("workload", "unknown")
+        self._allocations = [
+            AllocationSpec(name, size)
+            for name, size in header["allocations"]
+        ]
+        if not self._allocations:
+            raise WorkloadError("trace declares no allocations")
+
+    def allocations(self) -> list[AllocationSpec]:
+        return list(self._allocations)
+
+    def kernel_specs(self, resolver: AddressResolver) -> Iterator[KernelSpec]:
+        with open(self.path, encoding="utf-8") as fh:
+            fh.readline()  # header
+            for line in fh:
+                record = json.loads(line)
+                thread_blocks = []
+                for tb in record["thread_blocks"]:
+                    warps = [
+                        WarpSpec([
+                            (resolver.page(name, offset), bool(write))
+                            for name, offset, write in accesses
+                        ])
+                        for accesses in tb
+                    ]
+                    thread_blocks.append(ThreadBlockSpec(warps))
+                yield KernelSpec(record["name"], thread_blocks,
+                                 iteration=record.get("iteration", 0))

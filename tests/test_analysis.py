@@ -1,0 +1,123 @@
+"""Tests for metrics, report formatting, and access-pattern capture."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.access_pattern import (
+    AccessPatternTrace,
+    capture_access_pattern,
+)
+from repro.analysis.metrics import (
+    geomean,
+    geomean_speedup,
+    normalize,
+    speedup,
+)
+from repro.analysis.report import format_series, format_table
+from repro.config import SimulatorConfig
+from repro.workloads.synthetic import StreamingWorkload
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geomean_known_values(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_geomean_speedup(self):
+        assert geomean_speedup([10.0, 10.0], [5.0, 10.0]) \
+            == pytest.approx(2.0 ** 0.5)
+        with pytest.raises(ValueError):
+            geomean_speedup([1.0], [1.0, 2.0])
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=20))
+    def test_geomean_bounded_by_extremes(self, values):
+        result = geomean(values)
+        assert min(values) * 0.999 <= result <= max(values) * 1.001
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.5], ["long-name", 22.25]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_format_table_float_format(self):
+        table = format_table(["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in table
+
+    def test_format_series(self):
+        text = format_series("s", [(105, 1.0), (110, 2.0)], "ms")
+        assert "105" in text and "2.000" in text
+
+
+class TestAccessPatternTrace:
+    def make_trace(self):
+        samples = [(0.0, 100), (1.0, 140), (2.0, 100), (3.0, 180)]
+        return AccessPatternTrace("w", 0, samples)
+
+    def test_distinct_pages_and_span(self):
+        trace = self.make_trace()
+        assert trace.distinct_pages == [100, 140, 180]
+        assert trace.page_span == 80
+
+    def test_mean_gap(self):
+        assert self.make_trace().mean_gap_pages == 40.0
+
+    def test_touches_per_page(self):
+        assert self.make_trace().mean_touches_per_page \
+            == pytest.approx(4 / 3)
+
+    def test_empty_trace(self):
+        trace = AccessPatternTrace("w", 0, [])
+        assert trace.page_span == 0
+        assert trace.mean_gap_pages == 0.0
+        assert trace.mean_touches_per_page == 0.0
+        assert trace.ascii_scatter() == "(no samples)"
+
+    def test_ascii_scatter_dimensions(self):
+        art = self.make_trace().ascii_scatter(width=20, height=5)
+        lines = art.splitlines()
+        assert len(lines) == 6  # header + 5 rows
+        assert all(len(line) == 22 for line in lines[1:])
+        assert "*" in art
+
+
+class TestCaptureAccessPattern:
+    def test_capture_returns_requested_iterations(self):
+        workload = StreamingWorkload(pages=64, iterations=3)
+        traces = capture_access_pattern(
+            workload, SimulatorConfig(num_sms=2), [0, 2]
+        )
+        assert [t.iteration for t in traces] == [0, 2]
+        assert all(t.samples for t in traces)
+        # Streaming: iterations touch disjoint slices.
+        assert not (set(traces[0].distinct_pages)
+                    & set(traces[1].distinct_pages))
+
+    def test_capture_does_not_mutate_config(self):
+        config = SimulatorConfig(num_sms=2)
+        workload = StreamingWorkload(pages=16, iterations=1)
+        capture_access_pattern(workload, config, [0])
+        assert not config.record_access_trace

@@ -1,0 +1,166 @@
+"""Edge-case and stress tests for the driver/engine corners."""
+
+import pytest
+
+from repro import constants
+from repro.config import SimulatorConfig, oversubscribed
+from repro.core.engine import Simulator
+from repro.gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from repro.runtime import MultiWorkloadRuntime, UvmRuntime
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import (
+    CyclicScanWorkload,
+    RandomWorkload,
+    StreamingWorkload,
+)
+
+MIB = constants.MIB
+
+
+class TestSmQuantumBoundaries:
+    def test_stream_longer_than_quantum_completes(self):
+        """A single warp with more accesses than SM_QUANTUM needs several
+        step events but retires everything exactly once."""
+        sim = Simulator(SimulatorConfig(num_sms=1, prefetcher="tbn"))
+        alloc = sim.malloc_managed("a", MIB)
+        base = alloc.page_range[0]
+        n = Simulator.SM_QUANTUM * 3 + 7
+        kernel = KernelSpec("long", [ThreadBlockSpec([
+            WarpSpec([(base + i % 200, False) for i in range(n)])
+        ])])
+        sim.launch_kernel(kernel)
+        sim.synchronize()
+        # Every access performs at least one lookup; faulted accesses are
+        # replayed and look up again, so lookups >= issued accesses.
+        assert sim.stats.tlb_hits + sim.stats.tlb_misses >= n
+        # All 200 touched pages resident (plus whatever TBNp pulled in).
+        assert sim.page_table.valid_count >= 200
+        sim.check_invariants()
+
+    def test_many_tiny_warps(self):
+        sim = Simulator(SimulatorConfig(num_sms=4, prefetcher="tbn",
+                                        max_thread_blocks_per_sm=4))
+        alloc = sim.malloc_managed("a", MIB)
+        base = alloc.page_range[0]
+        tbs = [ThreadBlockSpec([WarpSpec([(base + i, False)])])
+               for i in range(64)]
+        sim.launch_kernel(KernelSpec("tiny", tbs))
+        sim.synchronize()
+        assert sim.page_table.valid_count >= 64
+
+
+class TestReservationEdge:
+    def test_full_reservation_never_deadlocks(self):
+        """Even an absurd reservation fraction lets eviction progress
+        (clamped_skip guarantees one candidate)."""
+        workload = CyclicScanWorkload(pages=200, iterations=2)
+        config = oversubscribed(
+            workload.footprint_bytes, 130.0,
+            num_sms=2, prefetcher="tbn", eviction="tbn",
+            disable_prefetch_on_oversubscription=False,
+            lru_reservation_fraction=0.99,
+        )
+        stats = UvmRuntime(config).run_workload(workload,
+                                                check_invariants=True)
+        assert stats.pages_evicted > 0
+
+
+class TestTinyAllocations:
+    def test_single_page_allocation(self):
+        sim = Simulator(SimulatorConfig(num_sms=1, prefetcher="tbn"))
+        alloc = sim.malloc_managed("tiny", 4096)
+        kernel = KernelSpec("k", [ThreadBlockSpec([
+            WarpSpec([(alloc.page_range[0], True)])
+        ])])
+        sim.launch_kernel(kernel)
+        sim.synchronize()
+        # The tree rounds to one 64KB block but only the requested page
+        # migrates.
+        assert sim.stats.pages_migrated == 1
+        sim.check_invariants()
+
+    def test_many_small_allocations(self):
+        sim = Simulator(SimulatorConfig(num_sms=2, prefetcher="tbn"))
+        bases = []
+        for i in range(12):
+            alloc = sim.malloc_managed(f"buf{i}", 48 * 1024)
+            bases.append(alloc.page_range[0])
+        accesses = [(b + j, False) for b in bases for j in range(12)]
+        warps = [WarpSpec(accesses[i:i + 8])
+                 for i in range(0, len(accesses), 8)]
+        sim.launch_kernel(KernelSpec("k", [ThreadBlockSpec([w])
+                                           for w in warps]))
+        sim.synchronize()
+        assert sim.stats.pages_migrated == 12 * 12
+        sim.check_invariants()
+
+
+class TestCapacityExtremes:
+    def test_capacity_exactly_equals_working_set(self):
+        workload = StreamingWorkload(pages=256, write_fraction=0.5)
+        config = SimulatorConfig(
+            num_sms=2, prefetcher="tbn", eviction="tbn",
+            device_memory_bytes=256 * 4096,
+            disable_prefetch_on_oversubscription=False,
+        )
+        stats = UvmRuntime(config).run_workload(workload,
+                                                check_invariants=True)
+        assert stats.pages_migrated == 256
+
+    def test_severe_oversubscription_200_percent(self):
+        workload = CyclicScanWorkload(pages=400, iterations=2)
+        config = oversubscribed(
+            workload.footprint_bytes, 200.0,
+            num_sms=2, prefetcher="tbn", eviction="tbn",
+            disable_prefetch_on_oversubscription=False,
+        )
+        runtime = UvmRuntime(config)
+        stats = runtime.run_workload(workload, check_invariants=True)
+        assert runtime.simulator.frames.used \
+            <= runtime.simulator.frames.capacity
+        assert stats.pages_thrashed > 0
+
+
+class TestMixedApiStress:
+    def test_soak_everything_together(self):
+        """Prefetch hints, kernels, host accesses, and contention in one
+        run: the invariants must survive the full API surface."""
+        config = oversubscribed(
+            10 * MIB, 125.0,
+            num_sms=4, prefetcher="tbn", eviction="tbn",
+            disable_prefetch_on_oversubscription=False,
+            record_timeline=True,
+        )
+        runtime = MultiWorkloadRuntime(config)
+        runtime.add_workload("scan", CyclicScanWorkload(
+            pages=640, iterations=3, write_fraction=0.5))
+        runtime.add_workload("rand", RandomWorkload(
+            pages=1024, touches_per_iteration=512, iterations=3))
+        runtime.add_workload("stream", StreamingWorkload(
+            pages=896, iterations=3))
+        sim = runtime.simulator
+        stats = runtime.run(check_invariants=True)
+
+        # Post-run host accesses + user prefetch still keep state sane.
+        sim.cpu_access("scan/data", is_write=True)
+        sim.prefetch_async("stream/data", first_page=0, num_pages=128)
+        sim.synchronize()
+        sim.check_invariants()
+        assert stats.timeline  # instrumentation captured the run
+        assert stats.pages_evicted > 0
+        assert len(sim.mshr) == 0
+
+    def test_interleaved_kernels_and_host_touches(self):
+        runtime = UvmRuntime(SimulatorConfig(num_sms=2, prefetcher="tbn"))
+        workload = make_workload("hotspot", scale=0.1)
+        for spec in workload.allocations():
+            runtime.malloc_managed(spec.name, spec.size_bytes)
+        from repro.workloads.base import AddressResolver
+        resolver = AddressResolver(runtime.simulator.allocator)
+        for index, kernel in enumerate(workload.kernel_specs(resolver)):
+            runtime.launch_kernel(kernel)
+            if index % 2 == 1:
+                runtime.cpu_access("power")
+        runtime.device_synchronize()
+        runtime.simulator.check_invariants()
+        assert runtime.stats.pages_thrashed > 0  # power re-migrates

@@ -1,0 +1,128 @@
+"""Property-based end-to-end tests of the simulator.
+
+Hypothesis generates random workload shapes, policy pairings, and memory
+pressures; after every run the cross-component invariants must hold and a
+set of conservation laws must be satisfied.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.config import SimulatorConfig
+from repro.core.engine import Simulator
+from repro.gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+
+MIB = constants.MIB
+
+
+@st.composite
+def scenario(draw):
+    prefetcher = draw(st.sampled_from(
+        ["none", "random", "sequential-local", "tbn", "zheng512"]
+    ))
+    eviction = draw(st.sampled_from(
+        ["lru4k", "random", "sequential-local", "tbn", "lru2mb",
+         "lru4k-validated"]
+    ))
+    footprint_pages = draw(st.integers(min_value=64, max_value=640))
+    capacity_ratio = draw(st.sampled_from([None, 1.0, 0.9, 0.75, 0.6]))
+    launches = draw(st.integers(min_value=1, max_value=3))
+    write_every = draw(st.integers(min_value=1, max_value=4))
+    stride = draw(st.sampled_from([1, 3, 17]))
+    keep_prefetching = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=3))
+    return (prefetcher, eviction, footprint_pages, capacity_ratio,
+            launches, write_every, stride, keep_prefetching, seed)
+
+
+def build_kernel(base, footprint_pages, write_every, stride, iteration):
+    offsets = [(i * stride) % footprint_pages
+               for i in range(footprint_pages)]
+    accesses = [(base + off, (i % write_every) == 0)
+                for i, off in enumerate(offsets)]
+    warps = [WarpSpec(accesses[i:i + 16])
+             for i in range(0, len(accesses), 16)]
+    tbs = [ThreadBlockSpec(warps[i:i + 2])
+           for i in range(0, len(warps), 2)]
+    return KernelSpec(f"k{iteration}", tbs, iteration=iteration)
+
+
+class TestEngineProperties:
+    @given(scenario())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_invariants_and_conservation(self, params):
+        (prefetcher, eviction, footprint_pages, capacity_ratio, launches,
+         write_every, stride, keep_prefetching, seed) = params
+        capacity = None
+        if capacity_ratio is not None:
+            capacity = max(64, int(footprint_pages * capacity_ratio))
+            capacity *= 4096
+        sim = Simulator(SimulatorConfig(
+            num_sms=4,
+            prefetcher=prefetcher,
+            eviction=eviction,
+            device_memory_bytes=capacity,
+            disable_prefetch_on_oversubscription=not keep_prefetching,
+            seed=seed,
+        ))
+        alloc = sim.malloc_managed("a", footprint_pages * 4096)
+        base = alloc.page_range[0]
+        for it in range(launches):
+            sim.launch_kernel(build_kernel(base, footprint_pages,
+                                           write_every, stride, it))
+        sim.synchronize()
+        stats = sim.stats
+
+        # Cross-component structural invariants.
+        sim.check_invariants()
+
+        # Conservation: resident = migrated - evicted.
+        assert sim.page_table.valid_count \
+            == stats.pages_migrated - stats.pages_evicted
+
+        # Capacity never exceeded.
+        if capacity is not None:
+            assert sim.frames.used <= sim.frames.capacity
+
+        # Every eviction is accounted as write-back or clean drop.
+        assert stats.pages_evicted == (stats.pages_written_back
+                                       + stats.pages_dropped_clean)
+
+        # Fault/migration sanity.
+        assert stats.pages_migrated \
+            == stats.pages_prefetched + (stats.pages_migrated
+                                         - stats.pages_prefetched)
+        assert stats.far_faults <= stats.tlb_misses
+        assert stats.pages_thrashed <= stats.pages_migrated
+
+        # Bytes moved match page counts.
+        assert stats.h2d.total_bytes == stats.pages_migrated * 4096
+        assert stats.d2h.total_bytes == stats.pages_written_back * 4096
+
+        # Time sanity: kernels take positive time; totals are finite.
+        assert all(t > 0 for t in stats.kernel_times_ns)
+
+        # All touched pages of the final launch are resident afterwards
+        # only if they fit; at minimum, none are left MIGRATING.
+        assert len(sim.mshr) == 0
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_streaming_migration_count_exact(self, pages, warp_size):
+        """With no prefetcher and unbounded memory, migrations == distinct
+        pages touched, independent of warp shapes."""
+        sim = Simulator(SimulatorConfig(num_sms=3, prefetcher="none"))
+        alloc = sim.malloc_managed("a", pages * 4096)
+        base = alloc.page_range[0]
+        accesses = [(base + i, False) for i in range(pages)]
+        warps = [WarpSpec(accesses[i:i + warp_size])
+                 for i in range(0, len(accesses), warp_size)]
+        tbs = [ThreadBlockSpec([w]) for w in warps]
+        sim.launch_kernel(KernelSpec("k", tbs))
+        sim.synchronize()
+        assert sim.stats.pages_migrated == pages
+        assert sim.stats.far_faults == pages

@@ -1,0 +1,28 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_ARGS = {
+    "oversubscription_study.py": ["pathfinder", "0.2"],
+    "access_pattern_nw.py": ["0.3"],
+}
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_runs(script):
+    args = FAST_ARGS.get(script, [])
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print something"

@@ -1,0 +1,124 @@
+"""Smoke tests for every experiment runner at tiny scale."""
+
+import pytest
+
+from repro.experiments import (
+    COMBINATIONS,
+    ExperimentResult,
+    combo_config,
+    run_suite_setting,
+)
+from repro.experiments import (
+    ablations,
+    fig3_prefetch_time,
+    fig4_bandwidth,
+    fig5_farfaults,
+    fig6_oversub_sensitivity,
+    fig9_eviction,
+    fig11_combinations,
+    fig12_nw_pattern,
+    fig13_oversub_scaling,
+    fig14_reservation,
+    fig15_tbne_vs_2mb,
+    fig16_thrashing,
+    table1_pcie,
+)
+from repro.workloads.registry import make_workload
+
+#: A tiny sub-suite keeps these smoke tests fast.
+TINY = ["pathfinder", "hotspot"]
+SCALE = 0.12
+
+
+class TestCommon:
+    def test_combinations_are_the_paper_pairings(self):
+        labels = [label for label, *_ in COMBINATIONS]
+        assert labels == ["LRU4K+on-demand", "Re+Rp", "SLe+SLp",
+                          "TBNe+TBNp"]
+
+    def test_combo_config_fits(self):
+        workload = make_workload("hotspot", scale=SCALE)
+        config = combo_config(workload, "tbn", "lru4k")
+        assert config.device_memory_bytes is None
+
+    def test_combo_config_oversubscribed(self):
+        workload = make_workload("hotspot", scale=SCALE)
+        config = combo_config(workload, "tbn", "tbn",
+                              oversubscription_percent=110.0,
+                              prefetch_under_pressure=True)
+        assert config.device_memory_bytes < workload.footprint_bytes
+        assert not config.disable_prefetch_on_oversubscription
+
+    def test_run_suite_setting_returns_stats_per_workload(self):
+        results = run_suite_setting(SCALE, TINY, prefetcher="tbn",
+                                    eviction="lru4k")
+        assert set(results) == set(TINY)
+        for stats in results.values():
+            assert stats.pages_migrated > 0
+
+    def test_experiment_result_table_and_columns(self):
+        result = ExperimentResult("X", "desc", ["a", "b"])
+        result.add_row("w", 1.0)
+        result.notes.append("n")
+        table = result.to_table()
+        assert "X: desc" in table and "note: n" in table
+        assert result.column("b") == [1.0]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+
+class TestRunners:
+    def test_table1(self):
+        result = table1_pcie.run()
+        assert len(result.rows) == 5
+
+    def test_fig3_4_5(self):
+        for module in (fig3_prefetch_time, fig4_bandwidth, fig5_farfaults):
+            result = module.run(scale=SCALE, workload_names=TINY)
+            assert result.column("workload") == TINY
+            assert len(result.headers) == 5
+
+    def test_fig6_7(self):
+        result = fig6_oversub_sensitivity.run(scale=SCALE,
+                                              workload_names=TINY)
+        assert len(result.rows) == len(TINY)
+        assert len(result.headers) == 7
+
+    def test_fig9(self):
+        result = fig9_eviction.run(scale=SCALE, workload_names=TINY)
+        assert len(result.rows) == len(TINY)
+
+    def test_fig11(self):
+        result = fig11_combinations.run(scale=SCALE, workload_names=TINY)
+        assert result.notes  # geomean note present
+        assert len(result.headers) == 5
+
+    def test_fig12(self):
+        result = fig12_nw_pattern.run(scale=SCALE)
+        assert len(result.rows) == 2
+        iterations = result.column("iteration")
+        assert iterations[0] != iterations[1]
+
+    def test_fig13(self):
+        result = fig13_oversub_scaling.run(scale=SCALE,
+                                           workload_names=TINY)
+        assert result.headers[1] == "fits"
+
+    def test_fig14(self):
+        result = fig14_reservation.run(scale=SCALE, workload_names=TINY)
+        assert result.headers[1:] == ["0%", "10%", "20%"]
+
+    def test_fig15(self):
+        result = fig15_tbne_vs_2mb.run(scale=SCALE, workload_names=TINY)
+        assert "TBNe speedup" in result.headers
+
+    def test_fig16(self):
+        result = fig16_thrashing.run(scale=SCALE, workload_names=TINY)
+        assert len(result.headers) == 5
+
+    def test_ablations(self):
+        for runner in (ablations.run_fault_batching,
+                       ablations.run_tbn_threshold,
+                       ablations.run_lru_insertion):
+            result = runner(scale=SCALE, workload_names=TINY)
+            assert len(result.rows) == len(TINY)

@@ -1,0 +1,92 @@
+"""Tests for the extra (non-suite) workloads: kmeans and atax."""
+
+import pytest
+
+from repro.config import SimulatorConfig
+from repro.memory.allocator import ManagedAllocator
+from repro.runtime import run_workload
+from repro.workloads.base import AddressResolver
+from repro.workloads.registry import SUITE_ORDER, make_workload
+
+SCALE = 0.15
+
+
+def materialize(workload):
+    allocator = ManagedAllocator()
+    for spec in workload.allocations():
+        allocator.malloc_managed(spec.name, spec.size_bytes)
+    resolver = AddressResolver(allocator)
+    return allocator, list(workload.kernel_specs(resolver))
+
+
+class TestRegistration:
+    def test_registered_but_not_in_suite(self):
+        for name in ("kmeans", "atax"):
+            workload = make_workload(name, scale=SCALE)
+            assert workload.name == name
+            assert name not in SUITE_ORDER
+
+
+class TestKmeans:
+    def test_centroids_hotter_than_points(self):
+        workload = make_workload("kmeans", scale=SCALE)
+        allocator, kernels = materialize(workload)
+        centroid_pages = set(allocator.get("centroids").page_range)
+        point_pages = set(allocator.get("points").page_range)
+        touches: dict[int, int] = {}
+        for kernel in kernels:
+            for tb in kernel.thread_blocks:
+                for warp in tb.warps:
+                    for page, _ in warp.accesses:
+                        touches[page] = touches.get(page, 0) + 1
+        centroid_mean = sum(touches.get(p, 0) for p in centroid_pages) \
+            / len(centroid_pages)
+        point_mean = sum(touches.get(p, 0) for p in point_pages) \
+            / len(point_pages)
+        assert centroid_mean > point_mean * 5
+
+    def test_one_kernel_per_iteration(self):
+        workload = make_workload("kmeans", scale=SCALE, iterations=3)
+        _, kernels = materialize(workload)
+        assert len(kernels) == 3
+
+    def test_runs_end_to_end(self):
+        stats = run_workload(
+            make_workload("kmeans", scale=SCALE),
+            SimulatorConfig(num_sms=2, prefetcher="tbn"),
+            check_invariants=True,
+        )
+        assert stats.pages_migrated > 0
+
+
+class TestAtax:
+    def test_two_kernels(self):
+        workload = make_workload("atax", scale=SCALE)
+        _, kernels = materialize(workload)
+        assert [k.name for k in kernels] == ["atax_ax", "atax_aty"]
+
+    def test_both_passes_cover_the_matrix(self):
+        workload = make_workload("atax", scale=SCALE)
+        allocator, kernels = materialize(workload)
+        matrix = set(allocator.get("a").page_range)
+        assert matrix <= kernels[0].touched_pages()
+        assert matrix <= kernels[1].touched_pages()
+
+    def test_second_pass_is_strided(self):
+        workload = make_workload("atax", scale=0.4)
+        allocator, kernels = materialize(workload)
+        base = allocator.get("a").page_range[0]
+        second = [page - base for tb in kernels[1].thread_blocks
+                  for warp in tb.warps for page, _ in warp.accesses
+                  if page in set(allocator.get("a").page_range)]
+        # Consecutive matrix accesses in the second pass jump a full row.
+        jumps = [b - a for a, b in zip(second, second[1:])]
+        assert max(jumps) >= workload.row_pages
+
+    def test_runs_end_to_end(self):
+        stats = run_workload(
+            make_workload("atax", scale=SCALE),
+            SimulatorConfig(num_sms=2, prefetcher="sequential-local"),
+            check_invariants=True,
+        )
+        assert stats.pages_migrated > 0

@@ -1,0 +1,57 @@
+"""Tests for the Figure 2 experiment runner and the compare command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig2_microbench
+from repro.workloads.microbench import MicrobenchWorkload
+
+
+class TestFig2Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_microbench.run()
+
+    def test_covers_both_patterns_and_three_prefetchers(self, result):
+        assert len(result.rows) == 6
+        prefetchers = {row[1] for row in result.rows}
+        assert prefetchers == {"none", "sequential-local", "tbn"}
+
+    def test_tbn_totals_cover_the_whole_region(self, result):
+        """Both Figure 2 patterns end with the full 512KB (128 pages)
+        resident under TBNp."""
+        for row in result.rows:
+            if row[1] == "tbn":
+                assert row[3] == 128
+
+    def test_on_demand_totals_equal_probe_counts(self, result):
+        totals = {row[0].split()[0]: row[3]
+                  for row in result.rows if row[1] == "none"}
+        assert totals == {"fig2a": 5, "fig2b": 4}
+
+    def test_fig2b_probe_signature(self, result):
+        """The paper's Figure 2(b): probes pull 16, 16, 32, 64 pages."""
+        row = next(r for r in result.rows
+                   if r[1] == "tbn" and r[0].startswith("fig2b"))
+        assert row[2] == "16+16+32+64"
+
+    def test_probe_migrations_helper(self):
+        probes = fig2_microbench.probe_migrations(
+            MicrobenchWorkload.figure2a(), "tbn"
+        )
+        assert probes == [16, 16, 16, 16, 64]
+
+
+class TestCompareCommand:
+    def test_side_by_side_table(self, capsys):
+        code = main(["compare", "pathfinder", "paper-fits",
+                     "paper-naive-110", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper-fits" in out and "paper-naive-110" in out
+        assert "far_faults" in out
+        assert "A/B" in out
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "pathfinder", "paper-fits", "bogus"])

@@ -1,0 +1,193 @@
+"""Tests for host-side (CPU) accesses, the Belady analyzer, and the
+raw-address warp builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.analysis.optimal import (
+    belady_misses,
+    optimality_gap,
+    reference_from_trace,
+)
+from repro.config import SimulatorConfig
+from repro.gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from repro.runtime import UvmRuntime, run_workload
+from repro.workloads.synthetic import CyclicScanWorkload
+
+MIB = constants.MIB
+
+
+def scan_kernel(base, n, writes=False, name="k", iteration=0):
+    accesses = [(base + i, writes) for i in range(n)]
+    warps = [WarpSpec(accesses[i:i + 16])
+             for i in range(0, len(accesses), 16)]
+    return KernelSpec(name, [ThreadBlockSpec([w]) for w in warps],
+                      iteration=iteration)
+
+
+class TestCpuAccess:
+    def make_runtime(self, **overrides):
+        overrides.setdefault("num_sms", 2)
+        overrides.setdefault("prefetcher", "none")
+        runtime = UvmRuntime(SimulatorConfig(**overrides))
+        alloc = runtime.malloc_managed("a", MIB)
+        return runtime, alloc
+
+    def test_cpu_read_invalidates_and_writes_back_dirty(self):
+        runtime, alloc = self.make_runtime()
+        base = alloc.page_range[0]
+        runtime.launch_kernel(scan_kernel(base, 32, writes=True))
+        runtime.device_synchronize()
+        runtime.cpu_access("a", first_page=0, num_pages=32)
+        sim = runtime.simulator
+        assert sim.page_table.valid_count == 0
+        assert sim.stats.pages_written_back == 32
+        sim.synchronize()
+        sim.check_invariants()
+
+    def test_cpu_read_drops_clean_pages_for_free(self):
+        runtime, alloc = self.make_runtime()
+        base = alloc.page_range[0]
+        runtime.launch_kernel(scan_kernel(base, 32, writes=False))
+        runtime.device_synchronize()
+        runtime.cpu_access("a", num_pages=32)
+        assert runtime.stats.pages_written_back == 0
+        assert runtime.stats.pages_dropped_clean == 32
+
+    def test_gpu_refaults_after_cpu_touch(self):
+        runtime, alloc = self.make_runtime()
+        base = alloc.page_range[0]
+        runtime.launch_kernel(scan_kernel(base, 16))
+        faults_first = runtime.stats.far_faults
+        runtime.cpu_access("a", num_pages=16, is_write=True)
+        runtime.launch_kernel(scan_kernel(base, 16, name="k2",
+                                          iteration=1))
+        runtime.device_synchronize()
+        assert runtime.stats.far_faults == 2 * faults_first
+        assert runtime.stats.pages_thrashed >= 16
+
+    def test_cpu_access_skips_nonresident_pages(self):
+        runtime, alloc = self.make_runtime()
+        runtime.cpu_access("a")  # nothing resident yet
+        assert runtime.stats.pages_written_back == 0
+        assert runtime.stats.pages_evicted == 0
+
+    def test_policy_bookkeeping_survives_cpu_access(self):
+        """After a host access, eviction policies must not hold stale
+        pages — the next pressure episode would otherwise pick them."""
+        runtime, alloc = self.make_runtime(
+            prefetcher="tbn", eviction="tbn",
+            device_memory_bytes=MIB,
+            disable_prefetch_on_oversubscription=False,
+        )
+        base = alloc.page_range[0]
+        big = runtime.malloc_managed("b", MIB)
+        runtime.launch_kernel(scan_kernel(base, alloc.num_pages))
+        runtime.device_synchronize()
+        runtime.cpu_access("a")
+        assert runtime.simulator.driver.eviction.evictable_pages() == 0
+        # New work fills memory again without tripping over stale state.
+        runtime.launch_kernel(scan_kernel(big.page_range[0],
+                                          big.num_pages, name="k2",
+                                          iteration=1))
+        runtime.device_synchronize()
+        runtime.simulator.check_invariants()
+
+
+class TestBelady:
+    def test_textbook_example(self):
+        # Classic reference string, 3 frames: OPT has 7 faults.
+        reference = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2]
+        result = belady_misses(reference, capacity_pages=3)
+        assert result.total_misses == 7
+        assert result.compulsory_misses == 6
+        assert result.capacity_misses == 1
+
+    def test_fits_in_memory_only_compulsory(self):
+        reference = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        result = belady_misses(reference, capacity_pages=3)
+        assert result.total_misses == 3
+        assert result.capacity_misses == 0
+
+    def test_cyclic_scan_min_beats_lru_badly(self):
+        # LRU misses every access of a cyclic N+1 scan; MIN keeps most.
+        pages = list(range(5))
+        reference = pages * 10
+        result = belady_misses(reference, capacity_pages=4)
+        assert result.total_misses < len(reference) / 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            belady_misses([1], 0)
+
+    def test_empty_reference(self):
+        result = belady_misses([], 4)
+        assert result.total_misses == 0
+        assert result.miss_rate == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=300),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_min_is_a_lower_bound_for_lru(self, reference, capacity):
+        """MIN never misses more than an LRU simulation of the same
+        string."""
+        optimal = belady_misses(reference, capacity)
+        # Reference LRU simulation.
+        from collections import OrderedDict
+        resident: OrderedDict[int, None] = OrderedDict()
+        lru_misses = 0
+        for page in reference:
+            if page in resident:
+                resident.move_to_end(page)
+                continue
+            lru_misses += 1
+            if len(resident) >= capacity:
+                resident.popitem(last=False)
+            resident[page] = None
+        assert optimal.total_misses <= lru_misses
+        assert optimal.compulsory_misses == len(set(reference))
+
+    def test_gap_against_simulated_run(self):
+        workload = CyclicScanWorkload(pages=96, iterations=4)
+        config = SimulatorConfig(
+            num_sms=2, prefetcher="none", eviction="lru4k",
+            device_memory_bytes=64 * 4096,
+            record_access_trace=True,
+        )
+        stats = run_workload(workload, config)
+        reference = reference_from_trace(stats.access_trace)
+        optimal = belady_misses(reference, 64)
+        gap = optimality_gap(stats.pages_migrated, optimal)
+        assert gap >= 1.0  # the real policy cannot beat clairvoyance
+
+
+class TestRawAddressWarps:
+    def test_coalesces_threads_of_one_instruction(self):
+        warp = WarpSpec.from_addresses([
+            ([0, 64, 128, 4096], False),
+        ])
+        assert warp.accesses == [(0, False), (1, False)]
+
+    def test_merges_adjacent_instructions_same_page(self):
+        warp = WarpSpec.from_addresses([
+            ([0], False),
+            ([100], True),
+            ([8192], False),
+        ])
+        assert warp.accesses == [(0, True), (2, False)]
+
+    def test_runs_through_simulator(self):
+        sim_config = SimulatorConfig(num_sms=1, prefetcher="none")
+        runtime = UvmRuntime(sim_config)
+        alloc = runtime.malloc_managed("a", MIB)
+        base_addr = alloc.base_addr
+        warp = WarpSpec.from_addresses([
+            ([base_addr + t * 8 for t in range(32)], False),
+            ([base_addr + 4096 + t * 8 for t in range(32)], True),
+        ])
+        kernel = KernelSpec("raw", [ThreadBlockSpec([warp])])
+        runtime.launch_kernel(kernel)
+        runtime.device_synchronize()
+        assert runtime.stats.pages_migrated == 2

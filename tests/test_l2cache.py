@@ -1,0 +1,103 @@
+"""Tests for the optional shared L2 cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulatorConfig
+from repro.errors import ConfigurationError
+from repro.gpu.l2cache import L2Cache
+from repro.runtime import run_workload
+from repro.workloads.synthetic import CyclicScanWorkload
+
+
+class TestL2Cache:
+    def test_hit_after_fill(self):
+        cache = L2Cache(capacity_pages=64, ways=4)
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_set_associative_conflicts(self):
+        cache = L2Cache(capacity_pages=8, ways=2)  # 4 sets
+        # Pages 0, 4, 8 map to set 0 (page % 4): third fill evicts first.
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)
+        assert not cache.access(0)  # evicted
+        assert len(cache) <= 8
+
+    def test_lru_within_set(self):
+        cache = L2Cache(capacity_pages=8, ways=2)
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)      # refresh 0; 4 is LRU
+        cache.access(8)      # evicts 4
+        assert cache.access(0)
+        assert not cache.access(4)
+
+    def test_invalidate(self):
+        cache = L2Cache(capacity_pages=8, ways=2)
+        cache.access(3)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
+        assert not cache.access(3)
+
+    def test_hit_rate(self):
+        cache = L2Cache(capacity_pages=8, ways=2)
+        assert cache.hit_rate == 0.0
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate == 0.5
+
+    @pytest.mark.parametrize("capacity,ways", [(0, 1), (8, 0), (10, 4)])
+    def test_invalid_geometry_rejected(self, capacity, ways):
+        with pytest.raises(ConfigurationError):
+            L2Cache(capacity, ways)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded(self, pages):
+        cache = L2Cache(capacity_pages=16, ways=4)
+        for page in pages:
+            cache.access(page)
+        assert len(cache) <= 16
+
+
+class TestL2InSimulator:
+    def test_disabled_by_default(self):
+        from repro.core.engine import Simulator
+        assert Simulator(SimulatorConfig()).l2 is None
+
+    def test_enabled_l2_slows_cold_reuse_hits(self):
+        """With reuse exceeding L2 capacity, enabling the L2 adds
+        near-fault latency to TLB-hit accesses."""
+        workload = CyclicScanWorkload(pages=256, iterations=3)
+        without = run_workload(
+            workload, SimulatorConfig(num_sms=2, prefetcher="tbn")
+        )
+        workload = CyclicScanWorkload(pages=256, iterations=3)
+        with_l2 = run_workload(
+            workload,
+            SimulatorConfig(num_sms=2, prefetcher="tbn", l2_enabled=True,
+                            l2_capacity_pages=64, l2_ways=4),
+        )
+        assert with_l2.total_kernel_time_ns > without.total_kernel_time_ns
+        assert with_l2.pages_migrated == without.pages_migrated
+
+    def test_big_l2_converges_to_no_l2(self):
+        """An L2 big enough to hold the working set adds only the cold
+        misses."""
+        workload = CyclicScanWorkload(pages=128, iterations=4)
+        baseline = run_workload(
+            workload, SimulatorConfig(num_sms=2, prefetcher="tbn")
+        )
+        workload = CyclicScanWorkload(pages=128, iterations=4)
+        big = run_workload(
+            workload,
+            SimulatorConfig(num_sms=2, prefetcher="tbn", l2_enabled=True,
+                            l2_capacity_pages=1024, l2_ways=16),
+        )
+        # Only ~128 cold misses x 200 cycles (~17 us) of extra time.
+        delta = big.total_kernel_time_ns - baseline.total_kernel_time_ns
+        assert 0 <= delta < 100_000

@@ -1,0 +1,146 @@
+"""Tests for per-allocation stats, residency maps, and workload
+co-location."""
+
+import pytest
+
+from repro import constants
+from repro.analysis.residency import render_residency, residency_fraction
+from repro.config import SimulatorConfig, oversubscribed
+from repro.core.engine import Simulator
+from repro.gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from repro.memory.page import PageState
+from repro.runtime import MultiWorkloadRuntime, UvmRuntime
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import CyclicScanWorkload, StreamingWorkload
+
+MIB = constants.MIB
+
+
+class TestPerAllocationStats:
+    def test_faults_and_migrations_attributed(self):
+        runtime = UvmRuntime(SimulatorConfig(num_sms=2, prefetcher="tbn"))
+        workload = make_workload("hotspot", scale=0.1)
+        stats = runtime.run_workload(workload)
+        names = set(stats.per_allocation)
+        assert {"temp_a", "temp_b", "power"} <= names
+        total = sum(rec.pages_migrated
+                    for rec in stats.per_allocation.values())
+        assert total == stats.pages_migrated
+        total_faults = sum(rec.far_faults
+                           for rec in stats.per_allocation.values())
+        assert total_faults == stats.far_faults
+
+    def test_evictions_attributed_under_pressure(self):
+        workload = make_workload("srad", scale=0.15)
+        config = oversubscribed(workload.footprint_bytes, 115.0,
+                                num_sms=2, prefetcher="tbn",
+                                eviction="tbn",
+                                disable_prefetch_on_oversubscription=False)
+        stats = UvmRuntime(config).run_workload(workload)
+        total_evicted = sum(rec.pages_evicted
+                            for rec in stats.per_allocation.values())
+        assert total_evicted == stats.pages_evicted
+        total_thrash = sum(rec.pages_thrashed
+                           for rec in stats.per_allocation.values())
+        assert total_thrash == stats.pages_thrashed
+
+
+class TestResidencyMap:
+    def test_states_reported_per_page(self):
+        sim = Simulator(SimulatorConfig(num_sms=1, prefetcher="none"))
+        alloc = sim.malloc_managed("a", 8 * 4096)
+        base = alloc.page_range[0]
+        kernel = KernelSpec("k", [ThreadBlockSpec([
+            WarpSpec([(base, False), (base + 2, False)])
+        ])])
+        sim.launch_kernel(kernel)
+        sim.synchronize()
+        states = sim.residency_map("a")
+        assert states[0] is PageState.VALID
+        assert states[1] is PageState.INVALID
+        assert states[2] is PageState.VALID
+
+    def test_render_small(self):
+        states = [PageState.VALID, PageState.INVALID,
+                  PageState.MIGRATING]
+        assert render_residency(states) == "#.~"
+
+    def test_render_wraps(self):
+        states = [PageState.VALID] * 10
+        art = render_residency(states, width=4)
+        assert art.splitlines() == ["####", "####", "##"]
+
+    def test_render_buckets_large_maps(self):
+        states = [PageState.VALID] * 1000 + [PageState.INVALID] * 1000
+        art = render_residency(states, width=10)
+        lines = art.splitlines()
+        assert len(lines) <= 8
+        flat = "".join(lines)
+        assert flat.startswith("#") and flat.endswith(".")
+
+    def test_render_empty(self):
+        assert render_residency([]) == "(empty allocation)"
+
+    def test_residency_fraction(self):
+        states = [PageState.VALID, PageState.VALID, PageState.INVALID,
+                  PageState.MIGRATING]
+        assert residency_fraction(states) == 0.5
+        assert residency_fraction([]) == 0.0
+
+
+class TestMultiWorkloadRuntime:
+    def test_interleaves_and_completes_both(self):
+        runtime = MultiWorkloadRuntime(
+            SimulatorConfig(num_sms=2, prefetcher="tbn")
+        )
+        runtime.add_workload("app1", StreamingWorkload(pages=64,
+                                                       iterations=2))
+        runtime.add_workload("app2", StreamingWorkload(pages=32,
+                                                       iterations=3))
+        stats = runtime.run(check_invariants=True)
+        assert stats.pages_migrated == 96
+        assert len(stats.kernel_times_ns) == 5
+
+    def test_per_workload_attribution(self):
+        runtime = MultiWorkloadRuntime(
+            SimulatorConfig(num_sms=2, prefetcher="tbn")
+        )
+        runtime.add_workload("big", StreamingWorkload(pages=128))
+        runtime.add_workload("small", StreamingWorkload(pages=16))
+        runtime.run()
+        big = runtime.stats_for("big")
+        small = runtime.stats_for("small")
+        assert big["data"].pages_migrated == 128
+        assert small["data"].pages_migrated == 16
+
+    def test_contention_causes_cross_workload_eviction(self):
+        """Two cyclic scans that fit individually but not together."""
+        combined_pages = 2 * 256
+        capacity = int(combined_pages * 0.8) * 4096
+        runtime = MultiWorkloadRuntime(SimulatorConfig(
+            num_sms=2, prefetcher="tbn", eviction="tbn",
+            device_memory_bytes=capacity,
+            disable_prefetch_on_oversubscription=False,
+        ))
+        runtime.add_workload("a", CyclicScanWorkload(pages=256,
+                                                     iterations=2))
+        runtime.add_workload("b", CyclicScanWorkload(pages=256,
+                                                     iterations=2))
+        stats = runtime.run(check_invariants=True)
+        assert stats.pages_evicted > 0
+        evicted_by = {label: sum(r.pages_evicted for r in
+                                 runtime.stats_for(label).values())
+                      for label in ("a", "b")}
+        # Both applications lose pages to the contention.
+        assert all(count > 0 for count in evicted_by.values())
+
+    def test_duplicate_label_rejected(self):
+        runtime = MultiWorkloadRuntime(SimulatorConfig(num_sms=1))
+        runtime.add_workload("x", StreamingWorkload(pages=8))
+        with pytest.raises(ValueError):
+            runtime.add_workload("x", StreamingWorkload(pages=8))
+
+    def test_empty_runtime_rejected(self):
+        runtime = MultiWorkloadRuntime(SimulatorConfig(num_sms=1))
+        with pytest.raises(ValueError):
+            runtime.run()

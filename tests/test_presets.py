@@ -1,0 +1,72 @@
+"""Tests for the named configuration presets."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.presets import PRESETS, preset_config
+from repro.runtime import UvmRuntime
+from repro.workloads.registry import make_workload
+
+
+class TestPresetConfigs:
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            preset_config("nope", make_workload("hotspot", scale=0.1))
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_builds_and_runs(self, name):
+        workload = make_workload("pathfinder", scale=0.1)
+        config = preset_config(name, workload)
+        stats = UvmRuntime(config).run_workload(workload)
+        assert stats.pages_migrated > 0
+
+    def test_fits_presets_are_unbounded(self):
+        workload = make_workload("hotspot", scale=0.1)
+        config = preset_config("paper-fits", workload)
+        assert config.device_memory_bytes is None
+
+    def test_oversub_presets_size_memory_from_workload(self):
+        small = make_workload("hotspot", scale=0.1)
+        large = make_workload("hotspot", scale=0.3)
+        config_small = preset_config("paper-tbne-110", small)
+        config_large = preset_config("paper-tbne-110", large)
+        assert config_small.device_memory_bytes \
+            < config_large.device_memory_bytes
+        assert config_small.device_memory_bytes \
+            < small.footprint_bytes
+
+    def test_pairing_presets_keep_prefetcher_alive(self):
+        workload = make_workload("hotspot", scale=0.1)
+        for name in ("paper-sle-110", "paper-tbne-110", "paper-2mb-110"):
+            config = preset_config(name, workload)
+            assert not config.disable_prefetch_on_oversubscription
+
+    def test_naive_preset_gates_prefetcher(self):
+        workload = make_workload("hotspot", scale=0.1)
+        config = preset_config("paper-naive-110", workload)
+        assert config.disable_prefetch_on_oversubscription
+
+    def test_reservation_preset(self):
+        workload = make_workload("hotspot", scale=0.1)
+        config = preset_config("paper-tbne-r10-110", workload)
+        assert config.lru_reservation_fraction == pytest.approx(0.10)
+
+    def test_buffer_preset(self):
+        workload = make_workload("hotspot", scale=0.1)
+        config = preset_config("paper-buffer-110", workload)
+        assert config.free_page_buffer_fraction == pytest.approx(0.05)
+
+
+class TestCliPreset:
+    def test_run_with_preset(self, capsys):
+        code = main(["run", "pathfinder", "--scale", "0.1",
+                     "--preset", "paper-tbne-110"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper-tbne-110" in out
+        assert "far_faults" in out
+
+    def test_unknown_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "pathfinder", "--preset", "nope"])

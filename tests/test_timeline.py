@@ -1,0 +1,96 @@
+"""Tests for the residency-timeline instrumentation and analysis."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    TimelineSummary,
+    occupancy_sparkline,
+    summarize,
+)
+from repro.config import oversubscribed
+from repro.runtime import UvmRuntime
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import CyclicScanWorkload
+
+
+def run_with_timeline(eviction="lru4k", keep=False):
+    workload = CyclicScanWorkload(pages=320, iterations=3)
+    config = oversubscribed(
+        workload.footprint_bytes, 115.0,
+        num_sms=2, prefetcher="tbn", eviction=eviction,
+        disable_prefetch_on_oversubscription=not keep,
+        record_timeline=True,
+    )
+    runtime = UvmRuntime(config)
+    runtime.run_workload(workload)
+    return runtime
+
+
+class TestRecording:
+    def test_one_sample_per_batch(self):
+        runtime = run_with_timeline()
+        stats = runtime.stats
+        assert len(stats.timeline) == stats.fault_batches
+        times = [t for t, _, _, _ in stats.timeline]
+        assert times == sorted(times)
+
+    def test_disabled_by_default(self):
+        workload = make_workload("pathfinder", scale=0.1)
+        from repro.config import SimulatorConfig
+        runtime = UvmRuntime(SimulatorConfig(num_sms=2))
+        runtime.run_workload(workload)
+        assert runtime.stats.timeline == []
+
+    def test_gate_closure_visible_in_timeline(self):
+        runtime = run_with_timeline(eviction="lru4k", keep=False)
+        summary = summarize(runtime.stats.timeline,
+                            runtime.simulator.frames.capacity)
+        assert summary.prefetch_disabled_at_ns is not None
+        assert summary.peak_frames_used \
+            <= runtime.simulator.frames.capacity
+
+    def test_gate_stays_open_for_combo(self):
+        runtime = run_with_timeline(eviction="tbn", keep=True)
+        summary = summarize(runtime.stats.timeline,
+                            runtime.simulator.frames.capacity)
+        assert summary.prefetch_disabled_at_ns is None
+
+
+class TestSummarize:
+    def test_empty_timeline(self):
+        summary = summarize([])
+        assert summary == TimelineSummary(0, 0, 0, None, None)
+
+    def test_landmarks(self):
+        timeline = [
+            (0.0, 10, 10, True),
+            (10.0, 90, 100, True),
+            (20.0, 95, 100, False),
+        ]
+        summary = summarize(timeline, capacity_pages=100)
+        assert summary.samples == 3
+        assert summary.peak_resident_pages == 95
+        assert summary.prefetch_disabled_at_ns == 20.0
+        assert summary.filled_at_ns == 10.0
+
+
+class TestSparkline:
+    def test_shape_and_levels(self):
+        timeline = [(float(i), i, i * 10, True) for i in range(11)]
+        line = occupancy_sparkline(timeline, capacity_pages=100, width=20)
+        assert len(line) == 20
+        # Occupancy rises over time: last bucket densest.
+        assert line[-1] == "@"
+
+    def test_empty(self):
+        assert occupancy_sparkline([], 100) == "(no samples)"
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            occupancy_sparkline([(0.0, 1, 1, True)], 0)
+
+    def test_real_run_sparkline_renders(self):
+        runtime = run_with_timeline()
+        line = occupancy_sparkline(runtime.stats.timeline,
+                                   runtime.simulator.frames.capacity)
+        assert len(line) == 60

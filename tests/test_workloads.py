@@ -1,0 +1,243 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro import constants
+from repro.errors import WorkloadError
+from repro.gpu.kernel import KernelSpec
+from repro.memory.allocator import ManagedAllocator
+from repro.workloads import (
+    WORKLOAD_REGISTRY,
+    default_suite,
+    make_workload,
+)
+from repro.workloads.base import AddressResolver, Workload
+from repro.workloads.microbench import MicrobenchWorkload
+from repro.workloads.registry import SUITE_ORDER
+from repro.workloads.synthetic import (
+    CyclicScanWorkload,
+    RandomWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+)
+
+SCALE = 0.1
+
+
+def resolver_for(workload):
+    allocator = ManagedAllocator()
+    for spec in workload.allocations():
+        allocator.malloc_managed(spec.name, spec.size_bytes)
+    return AddressResolver(allocator)
+
+
+def materialize(workload):
+    resolver = resolver_for(workload)
+    return list(workload.kernel_specs(resolver))
+
+
+class TestRegistry:
+    def test_suite_has_seven_workloads(self):
+        assert len(SUITE_ORDER) == 7
+        suite = default_suite(scale=SCALE)
+        assert [w.name for w in suite] == list(SUITE_ORDER)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError):
+            make_workload("bogus")
+
+    def test_footprints_scale(self):
+        small = make_workload("hotspot", scale=0.2)
+        large = make_workload("hotspot", scale=1.0)
+        assert large.footprint_bytes > small.footprint_bytes * 3
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_every_workload_generates_valid_kernels(self, name):
+        workload = make_workload(name, scale=SCALE)
+        kernels = materialize(workload)
+        assert kernels
+        total = sum(k.total_accesses for k in kernels)
+        assert total > 0
+        for kernel in kernels:
+            assert isinstance(kernel, KernelSpec)
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_accesses_stay_within_allocations(self, name):
+        workload = make_workload(name, scale=SCALE)
+        allocator = ManagedAllocator()
+        valid_pages: set[int] = set()
+        for spec in workload.allocations():
+            alloc = allocator.malloc_managed(spec.name, spec.size_bytes)
+            valid_pages.update(alloc.page_range)
+        resolver = AddressResolver(allocator)
+        for kernel in workload.kernel_specs(resolver):
+            assert kernel.touched_pages() <= valid_pages
+
+
+class TestAddressResolver:
+    def test_resolves_offsets(self):
+        allocator = ManagedAllocator()
+        alloc = allocator.malloc_managed("x", 10 * 4096)
+        resolver = AddressResolver(allocator)
+        assert resolver.page("x", 0) == alloc.page_range[0]
+        assert resolver.page("x", 9) == alloc.page_range[-1]
+        assert resolver.num_pages("x") == 10
+
+    def test_rejects_unknown_and_out_of_range(self):
+        allocator = ManagedAllocator()
+        allocator.malloc_managed("x", 4096)
+        resolver = AddressResolver(allocator)
+        with pytest.raises(WorkloadError):
+            resolver.page("y", 0)
+        with pytest.raises(WorkloadError):
+            resolver.page("x", 1)
+
+
+class TestHelpers:
+    def test_pack_thread_blocks(self):
+        streams = [[(1, False)], [(2, False)], [(3, False)]]
+        blocks = Workload.pack_thread_blocks(streams, warps_per_tb=2)
+        assert [len(b.warps) for b in blocks] == [2, 1]
+
+    def test_pack_drops_empty_streams(self):
+        blocks = Workload.pack_thread_blocks([[], [(1, False)]], 2)
+        assert len(blocks) == 1
+
+    def test_pack_all_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            Workload.pack_thread_blocks([[], []], 2)
+
+    def test_strided_streams_deal_round_robin(self):
+        pages = [(i, False) for i in range(6)]
+        streams = Workload.strided_warp_streams(pages, 2)
+        assert streams[0] == [(0, False), (2, False), (4, False)]
+        assert streams[1] == [(1, False), (3, False), (5, False)]
+
+    def test_chunked_streams(self):
+        pages = [(i, False) for i in range(5)]
+        streams = Workload.chunked_warp_streams(pages, 2)
+        assert [len(s) for s in streams] == [2, 2, 1]
+
+
+class TestPatternShapes:
+    def test_backprop_is_streaming(self):
+        """Large arrays are touched exactly once."""
+        workload = make_workload("backprop", scale=SCALE)
+        counts: dict[int, int] = {}
+        for kernel in materialize(workload):
+            for tb in kernel.thread_blocks:
+                for warp in tb.warps:
+                    for page, _ in warp.accesses:
+                        counts[page] = counts.get(page, 0) + 1
+        once = sum(1 for c in counts.values() if c == 1)
+        assert once / len(counts) > 0.8
+
+    def test_hotspot_reuses_grid_every_iteration(self):
+        workload = make_workload("hotspot", scale=SCALE)
+        kernels = materialize(workload)
+        assert len(kernels) == workload.iterations
+        power_pages = None
+        for kernel in kernels:
+            touched = kernel.touched_pages()
+            if power_pages is None:
+                power_pages = touched
+            else:
+                assert len(touched & power_pages) > len(power_pages) // 2
+
+    def test_nw_has_forward_and_backward_passes(self):
+        workload = make_workload("nw", scale=SCALE)
+        kernels = materialize(workload)
+        assert len(kernels) == 2 * workload.num_diagonals
+        names = [k.name for k in kernels]
+        assert names[0].startswith("nw_fwd")
+        assert names[-1].startswith("nw_bwd")
+        # Backward pass revisits the first diagonal's pages at the end.
+        assert kernels[0].touched_pages() & kernels[-1].touched_pages()
+
+    def test_nw_diagonal_pages_far_apart(self):
+        workload = make_workload("nw", scale=0.5)
+        kernels = materialize(workload)
+        mid = kernels[workload.num_diagonals // 2]
+        pages = sorted(mid.touched_pages())
+        gaps = [b - a for a, b in zip(pages, pages[1:])]
+        assert max(gaps) >= workload.row_pages - 2
+
+    def test_gemm_rescans_b_every_row_block(self):
+        workload = make_workload("gemm", scale=SCALE)
+        kernels = materialize(workload)
+        assert len(kernels) == workload.row_blocks
+        b_footprint = None
+        for kernel in kernels:
+            touched = kernel.touched_pages()
+            if b_footprint is None:
+                b_footprint = touched
+            else:
+                assert len(touched & b_footprint) >= workload.b_pages // 2
+
+    def test_bfs_levels_differ(self):
+        workload = make_workload("bfs", scale=SCALE)
+        kernels = materialize(workload)
+        assert kernels[0].touched_pages() != kernels[1].touched_pages()
+
+    def test_bfs_deterministic_given_seed(self):
+        a = materialize(make_workload("bfs", scale=SCALE))
+        b = materialize(make_workload("bfs", scale=SCALE))
+        for ka, kb in zip(a, b):
+            assert ka.touched_pages() == kb.touched_pages()
+
+
+class TestMicrobench:
+    def test_figure2a_preset(self):
+        workload = MicrobenchWorkload.figure2a()
+        assert workload.block_order == [1, 3, 5, 7, 0]
+        kernels = materialize(workload)
+        assert len(kernels) == 5
+        for kernel in kernels:
+            assert kernel.total_accesses == 1
+
+    def test_rejects_block_outside_allocation(self):
+        with pytest.raises(WorkloadError):
+            MicrobenchWorkload([9], allocation_bytes=512 * constants.KIB)
+
+    def test_rejects_empty_order(self):
+        with pytest.raises(WorkloadError):
+            MicrobenchWorkload([])
+
+
+class TestSynthetic:
+    def test_streaming_covers_disjoint_slices(self):
+        workload = StreamingWorkload(pages=100, iterations=4)
+        kernels = materialize(workload)
+        seen: set[int] = set()
+        for kernel in kernels:
+            touched = kernel.touched_pages()
+            assert not (touched & seen)
+            seen |= touched
+        assert len(seen) == 100
+
+    def test_cyclic_rescans_everything(self):
+        workload = CyclicScanWorkload(pages=50, iterations=3)
+        kernels = materialize(workload)
+        first = kernels[0].touched_pages()
+        for kernel in kernels[1:]:
+            assert kernel.touched_pages() == first
+
+    def test_random_respects_bounds(self):
+        workload = RandomWorkload(pages=64, touches_per_iteration=200)
+        kernels = materialize(workload)
+        assert all(len(k.touched_pages()) <= 64 for k in kernels)
+
+    def test_strided_covers_all_pages(self):
+        workload = StridedWorkload(pages=64, stride=8)
+        kernels = materialize(workload)
+        assert len(kernels[0].touched_pages()) == 64
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            StreamingWorkload(pages=0)
+        with pytest.raises(WorkloadError):
+            StreamingWorkload(pages=10, iterations=0)
+        with pytest.raises(WorkloadError):
+            StreamingWorkload(pages=10, write_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            StridedWorkload(pages=10, stride=0)
