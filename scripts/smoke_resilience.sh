@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the fault-injection / resilience subsystem:
+# one injected run, one severity sweep, one small extension-experiment
+# slice, and the dedicated test module.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== repro run with a moderate fault profile =="
+python -m repro run bfs --scale 0.15 --oversubscription 110 \
+    --prefetcher tbn --eviction tbn --fault-profile moderate
+
+echo
+echo "== repro faults severity sweep =="
+python -m repro faults bfs --scale 0.15 --rates 0 0.05 0.2
+
+echo
+echo "== ext-resilience experiment (small scale) =="
+python - <<'EOF'
+from repro.experiments import extension_resilience
+
+result = extension_resilience.run(scale=0.15, workload_names=["bfs"],
+                                  rates=(0.0, 0.1))
+print(result.to_table())
+EOF
+
+echo
+echo "== fault-injection test module (incl. slow sweep) =="
+python -m pytest tests/test_faultinject.py -q -m ""
+
+echo
+echo "resilience smoke OK"

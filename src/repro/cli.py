@@ -8,10 +8,14 @@
     python -m repro experiment fig11 --scale 0.4
     python -m repro experiment all --out results/
     python -m repro sweep srad --percents 105 110 125
+    python -m repro run hotspot --fault-profile moderate
+    python -m repro faults bfs --rates 0 0.05 0.2
 
 ``run`` executes one workload under one setting and prints the counters;
 ``experiment`` regenerates the paper's tables/figures; ``sweep`` is the
-over-subscription sensitivity matrix for one workload.
+over-subscription sensitivity matrix for one workload; ``faults`` sweeps
+a workload across fault-injection rates and prints a resilience table
+(see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from .experiments import (
     ablations,
     extension_adaptive,
     extension_colocation,
+    extension_resilience,
     fig2_microbench,
     fig3_prefetch_time,
     fig4_bandwidth,
@@ -80,6 +85,7 @@ EXPERIMENTS = {
         scale=scale),
     "ext-adaptive": lambda scale: extension_adaptive.run(scale=scale),
     "ext-colocation": lambda scale: extension_colocation.run(scale=scale),
+    "ext-resilience": lambda scale: extension_resilience.run(scale=scale),
 }
 
 
@@ -118,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--config-file", type=Path, default=None,
                        help="JSON file of SimulatorConfig fields; its "
                             "values override the policy flags")
+    run_p.add_argument("--fault-profile", default=None,
+                       help="fault-injection profile: a named severity "
+                            "(light|moderate|heavy), a key=value[,...] "
+                            "list, or a JSON file of FaultProfile fields")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -138,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(PREFETCHER_REGISTRY))
     sweep_p.add_argument("--eviction", default="tbn",
                          choices=sorted(EVICTION_REGISTRY))
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="resilience sweep: one workload across fault-injection rates",
+    )
+    faults_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    faults_p.add_argument("--scale", type=float, default=0.4)
+    faults_p.add_argument("--rates", type=float, nargs="+",
+                          default=[0.0, 0.02, 0.05, 0.10],
+                          help="transfer-failure probabilities to sweep")
+    faults_p.add_argument("--prefetcher", default="tbn",
+                          choices=sorted(PREFETCHER_REGISTRY))
+    faults_p.add_argument("--eviction", default="tbn",
+                          choices=sorted(EVICTION_REGISTRY))
+    faults_p.add_argument("--oversubscription", type=float, default=110.0,
+                          metavar="PERCENT")
+    faults_p.add_argument("--seed", type=int, default=0)
 
     val_p = sub.add_parser("validate",
                            help="check the paper's claims against "
@@ -162,14 +189,28 @@ def cmd_list() -> int:
     return 0
 
 
+def _print_resilience(stats) -> None:
+    rows = [[key, value]
+            for key, value in stats.resilience_dict().items()]
+    print(format_table(["resilience counter", "value"], rows))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, scale=args.scale)
+    profile = None
+    if args.fault_profile is not None:
+        from .faultinject.profile import load_profile
+        profile = load_profile(args.fault_profile, seed=args.seed)
     if args.preset is not None:
         config = preset_config(args.preset, workload)
+        if profile is not None:
+            config = config.replace(fault_profile=profile)
         stats = UvmRuntime(config).run_workload(workload)
         print(f"{workload.name} under preset {args.preset!r}")
         rows = [[key, value] for key, value in stats.as_dict().items()]
         print(format_table(["counter", "value"], rows))
+        if profile is not None:
+            _print_resilience(stats)
         return 0
     common = dict(
         prefetcher=args.prefetcher,
@@ -178,6 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         lru_reservation_fraction=args.reservation,
         free_page_buffer_fraction=args.buffer,
         seed=args.seed,
+        fault_profile=profile,
     )
     if args.config_file is not None:
         import json
@@ -197,6 +239,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"eviction={config.eviction}")
     rows = [[key, value] for key, value in stats.as_dict().items()]
     print(format_table(["counter", "value"], rows))
+    if config.fault_profile is not None:
+        _print_resilience(stats)
     return 0
 
 
@@ -236,6 +280,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Resilience table: one workload swept across injection rates."""
+    from .errors import ReproError
+    from .experiments.extension_resilience import profile_for_rate
+
+    rows = []
+    for rate in args.rates:
+        workload = make_workload(args.workload, scale=args.scale)
+        config = oversubscribed(
+            workload.footprint_bytes, args.oversubscription,
+            prefetcher=args.prefetcher, eviction=args.eviction,
+            disable_prefetch_on_oversubscription=False,
+            seed=args.seed,
+            fault_profile=profile_for_rate(rate, seed=args.seed),
+        )
+        try:
+            stats = UvmRuntime(config).run_workload(workload)
+        except ReproError as exc:
+            rows.append([f"{rate:.2f}", f"FAILED({type(exc).__name__})",
+                         "-", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            f"{rate:.2f}",
+            stats.total_kernel_time_ns / 1e6,
+            stats.injected_faults,
+            stats.migration_retries,
+            stats.retry_backoff_ns / 1e6,
+            stats.recovered_faults,
+            stats.degradation_events,
+        ])
+    print(format_table(
+        ["fault rate", "time (ms)", "injected", "retries",
+         "backoff (ms)", "recovered", "degraded"], rows,
+        title=f"{args.workload} resilience sweep "
+              f"({args.prefetcher}+{args.eviction} at "
+              f"{args.oversubscription:.0f}%)",
+    ))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     columns = {}
     for preset_name in (args.preset_a, args.preset_b):
@@ -267,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "faults":
+        return cmd_faults(args)
     if args.command == "validate":
         from .validation import format_report, validate_claims
         checks = validate_claims(scale=args.scale)

@@ -14,6 +14,12 @@ from dataclasses import dataclass
 from . import constants
 from .errors import ConfigurationError
 
+#: Process-wide default for ``check_invariants_on_completion=None``.
+#: Production keeps it off (the checks are observational but not free);
+#: ``tests/conftest.py`` flips it on so state corruption is caught at the
+#: kernel boundary where it was injected, not in downstream figures.
+AUTO_CHECK_INVARIANTS = False
+
 
 @dataclass
 class SimulatorConfig:
@@ -92,6 +98,28 @@ class SimulatorConfig:
     tbn_threshold: float = 0.5
     #: Random seed shared by the random prefetcher / eviction policies.
     seed: int = 0
+
+    # --- Robustness --------------------------------------------------------
+    #: Fault-injection profile (``None`` disables every hook — the
+    #: default path is byte-identical to an injection-free build).  A
+    #: plain dict (e.g. from a JSON config file) is coerced on validation.
+    fault_profile: "FaultProfile | dict | None" = None
+    #: Watchdog: livelock/no-progress detection in the kernel event loop.
+    #: Ticks only observe, so the default-on watchdog never changes
+    #: simulation results.
+    watchdog_enabled: bool = True
+    #: Events processed between two watchdog ticks.
+    watchdog_interval_events: int = 200_000
+    #: Consecutive no-progress ticks before a WatchdogTimeout abort.
+    watchdog_no_progress_ticks: int = 10
+    #: Simulated-time budget per kernel launch (``None`` = unlimited).
+    watchdog_sim_time_budget_ns: float | None = None
+    #: Run ``Simulator.check_invariants`` every N watchdog ticks (0 = off).
+    invariant_check_ticks: int = 0
+    #: Run ``Simulator.check_invariants`` when each kernel completes.
+    #: ``None`` defers to the process-wide default (off in production,
+    #: flipped on by the test suite's conftest).
+    check_invariants_on_completion: bool | None = None
 
     # --- Instrumentation ---------------------------------------------------
     #: Record (time_ns, page_index) for every access (Figure 12 scatter).
@@ -177,6 +205,35 @@ class SimulatorConfig:
             )
         if not 0.0 < self.tbn_threshold < 1.0:
             raise ConfigurationError("tbn_threshold must be in (0, 1)")
+        if self.fault_profile is not None:
+            from .faultinject.profile import FaultProfile
+            if isinstance(self.fault_profile, dict):
+                self.fault_profile = \
+                    FaultProfile.from_dict(self.fault_profile)
+            elif isinstance(self.fault_profile, FaultProfile):
+                self.fault_profile.validate()
+            else:
+                raise ConfigurationError(
+                    "fault_profile must be a FaultProfile, a dict of its "
+                    f"fields, or None, got {type(self.fault_profile)}"
+                )
+        for name in ("watchdog_interval_events",
+                     "watchdog_no_progress_ticks"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if self.watchdog_sim_time_budget_ns is not None \
+                and self.watchdog_sim_time_budget_ns <= 0:
+            raise ConfigurationError(
+                "watchdog_sim_time_budget_ns must be positive or None"
+            )
+        if not isinstance(self.invariant_check_ticks, int) \
+                or self.invariant_check_ticks < 0:
+            raise ConfigurationError(
+                "invariant_check_ticks must be a non-negative integer"
+            )
 
     @property
     def pages_per_block(self) -> int:

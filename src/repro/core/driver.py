@@ -16,13 +16,22 @@ processor" (Section 1).  This class models that runtime:
 * an optional **free-page buffer** (Section 4.2) pre-evicts above an
   occupancy threshold and disables the prefetcher early, reproducing the
   paper's negative result for memory-threshold pre-eviction.
+
+Resilience: with a fault-injection profile attached, migrations whose
+transfer fails retry with capped exponential backoff in simulated time;
+after ``degrade_after_failures`` consecutive failures the driver
+*degrades* — it abandons the active prefetcher for on-demand paging (less
+wire pressure, smallest possible re-sends) and records the event in
+``SimStats``.  Lost far-fault notifications are redelivered after a
+profile-defined delay.  All of this is dormant (``injector is None``)
+unless the configuration carries a ``fault_profile``.
 """
 
 from __future__ import annotations
 
 from functools import partial
 
-from ..errors import SimulationError
+from ..errors import RetryExhaustedError, SimulationError
 from ..interconnect.pcie import PcieLink
 from ..memory.mshr import FarFaultMSHR
 from .context import UvmContext
@@ -36,18 +45,25 @@ class UvmDriver:
     """Fault servicing, migration, prefetch gating, and eviction."""
 
     def __init__(self, ctx: UvmContext, link: PcieLink, mshr: FarFaultMSHR,
-                 prefetcher: Prefetcher, eviction: EvictionPolicy) -> None:
+                 prefetcher: Prefetcher, eviction: EvictionPolicy,
+                 injector=None) -> None:
         self.ctx = ctx
         self.link = link
         self.mshr = mshr
         self.prefetcher = prefetcher
         self.eviction = eviction
+        self.injector = injector
         #: Set by the engine right after construction.
         self.engine = None
         self._fallback = OnDemandPrefetcher()
         self._pending: list[int] = []
         self._busy = False
         self.prefetch_enabled = True
+        #: Consecutive failed migration transfers (resets on any success);
+        #: reaching the profile's threshold triggers degraded mode.
+        self._consecutive_failures = 0
+        #: True once the driver fell back to on-demand paging for good.
+        self.degraded = False
 
     # ------------------------------------------------------------------ faults
     def on_new_fault(self, page: int, now_ns: float) -> None:
@@ -56,6 +72,36 @@ class UvmDriver:
         self.ctx.stats.allocation(
             self.ctx.allocation_name_of_page(page)
         ).far_faults += 1
+        self._pending.append(page)
+        if not self._busy:
+            self._busy = True
+            delay = 0.0
+            if self.injector is not None:
+                delay = self.injector.service_delay_ns()
+            self.engine.schedule(now_ns + delay, self._service)
+
+    def on_lost_fault(self, page: int, now_ns: float) -> None:
+        """A far-fault fired but its host notification was injected away.
+
+        The fault itself happened (it is counted) and the faulting warp is
+        parked on the MSHR entry; the notification is redelivered after
+        the profile's redelivery latency, mimicking a fault-buffer replay.
+        """
+        self.ctx.stats.far_faults += 1
+        self.ctx.stats.allocation(
+            self.ctx.allocation_name_of_page(page)
+        ).far_faults += 1
+        delay = self.injector.profile.fault_redelivery_ns
+        self.engine.schedule(now_ns + delay,
+                             partial(self._redeliver_fault, page))
+
+    def _redeliver_fault(self, page: int, now_ns: float) -> None:
+        """Second delivery attempt for a lost far-fault notification."""
+        if self.ctx.page_table.is_valid(page) \
+                or self._migration_in_flight(page):
+            # A prefetch or merged batch already covers the page.
+            return
+        self.ctx.stats.recovered_faults += 1
         self._pending.append(page)
         if not self._busy:
             self._busy = True
@@ -75,8 +121,10 @@ class UvmDriver:
         else:
             drained = self._pending
             self._pending = []
+        # dict.fromkeys dedups while keeping arrival order: duplicate
+        # deliveries (fault injection) must not migrate a page twice.
         batch = [
-            page for page in drained
+            page for page in dict.fromkeys(drained)
             if not page_table.is_valid(page)
             and not self._migration_in_flight(page)
         ]
@@ -164,9 +212,13 @@ class UvmDriver:
             self._evict(plan.total_pages - available, now_ns)
             available = frames.free_now + frames.pending_release
         if demand > available:
+            fault_pages = [p for g in plan.groups if g.has_fault
+                           for p in g.fault_pages]
             raise SimulationError(
                 f"device memory cannot hold the {demand} faulted pages of "
-                f"one batch (only {available} obtainable)"
+                f"one batch (only {available} obtainable); batch pages "
+                f"{sorted(fault_pages)[:8]}"
+                f"{'...' if demand > 8 else ''}"
             )
         budget = available - demand
         kept: list[TransferGroup] = []
@@ -223,14 +275,70 @@ class UvmDriver:
             transfer = self.link.migrate(
                 len(group.pages) * page_size, start_floor
             )
+            if transfer.failed:
+                self._schedule_retry(group, transfer.end_ns, attempt=1)
+            else:
+                self.engine.schedule(
+                    transfer.end_ns, partial(self._complete_group, group)
+                )
+
+    # ------------------------------------------------------------------ retries
+    def _schedule_retry(self, group: TransferGroup, failed_at_ns: float,
+                        attempt: int) -> None:
+        """A group's transfer failed: back off, degrade, or give up.
+
+        Pages stay MIGRATING and their frames stay claimed throughout —
+        the retry re-sends the payload, not the bookkeeping — so the
+        engine's invariants hold at every event boundary.
+        """
+        stats = self.ctx.stats
+        profile = self.injector.profile
+        self._note_migration_failure(failed_at_ns)
+        if attempt > profile.max_retries:
+            raise RetryExhaustedError(
+                f"migration of {len(group.pages)} pages "
+                f"{sorted(group.pages)[:8]}"
+                f"{'...' if len(group.pages) > 8 else ''} still failing "
+                f"after {profile.max_retries} retries at "
+                f"t={failed_at_ns:.0f} ns"
+            )
+        backoff = profile.backoff_ns(attempt)
+        stats.migration_retries += 1
+        stats.retry_backoff_ns += backoff
+        self.engine.schedule(failed_at_ns + backoff,
+                             partial(self._retry_group, group, attempt))
+
+    def _retry_group(self, group: TransferGroup, attempt: int,
+                     now_ns: float) -> None:
+        """Re-send one group's payload after backoff."""
+        transfer = self.link.migrate(
+            len(group.pages) * self.ctx.config.page_size, now_ns
+        )
+        if transfer.failed:
+            self._schedule_retry(group, transfer.end_ns, attempt + 1)
+        else:
             self.engine.schedule(
                 transfer.end_ns, partial(self._complete_group, group)
             )
+
+    def _note_migration_failure(self, now_ns: float) -> None:
+        """Track consecutive failures; degrade to on-demand past K."""
+        self._consecutive_failures += 1
+        threshold = self.injector.profile.degrade_after_failures
+        if threshold and self._consecutive_failures >= threshold \
+                and self.prefetch_enabled:
+            self.prefetch_enabled = False
+            self.degraded = True
+            stats = self.ctx.stats
+            stats.degradation_events += 1
+            stats.degradation_times_ns.append(now_ns)
 
     def _complete_group(self, group: TransferGroup, now_ns: float) -> None:
         """A migration transfer arrived: validate pages and wake warps."""
         ctx = self.ctx
         stats = ctx.stats
+        if self.injector is not None:
+            self._consecutive_failures = 0
         waiters: list[object] = []
         for page in group.pages:
             pte = ctx.page_table.complete_migration(page, now_ns)

@@ -15,9 +15,12 @@ replayable-fault model).
 
 from __future__ import annotations
 
+from .. import config as config_mod
 from .. import constants
 from ..config import SimulatorConfig
 from ..errors import SimulationError
+from ..faultinject.injector import FaultInjector
+from ..faultinject.watchdog import Watchdog
 from ..gpu.kernel import KernelSpec
 from ..gpu.l2cache import L2Cache
 from ..gpu.sm import StreamingMultiprocessor
@@ -59,12 +62,19 @@ class Simulator:
         self.frames = FramePool(config.device_memory_pages)
         self.ctx = UvmContext(config, self.space, self.allocator,
                               self.page_table, self.frames, self.stats)
+        #: One injector shared by every hook point; None disables them all.
+        self.injector = None
+        if config.fault_profile is not None:
+            self.injector = FaultInjector(config.fault_profile, self.stats)
         self.link = PcieLink(BandwidthModel(config.pcie_calibration),
-                             self.stats.h2d, self.stats.d2h)
-        self.mshr = FarFaultMSHR(config.mshr_entries)
+                             self.stats.h2d, self.stats.d2h,
+                             injector=self.injector)
+        self.mshr = FarFaultMSHR(config.mshr_entries,
+                                 injector=self.injector)
         self.driver = UvmDriver(self.ctx, self.link, self.mshr,
                                 make_prefetcher(config.prefetcher),
-                                make_eviction_policy(config.eviction))
+                                make_eviction_policy(config.eviction),
+                                injector=self.injector)
         self.driver.engine = self
         self.gmmu = Gmmu(self.ctx, self.mshr, self.driver)
         self.walker = make_walker(config.page_walk_model,
@@ -78,6 +88,16 @@ class Simulator:
         self.scheduler = ThreadBlockScheduler(
             self.sms, config.max_thread_blocks_per_sm
         )
+        self.watchdog = Watchdog(
+            config.watchdog_interval_events,
+            config.watchdog_no_progress_ticks,
+            config.watchdog_sim_time_budget_ns,
+            config.invariant_check_ticks,
+        ) if config.watchdog_enabled else None
+        if config.check_invariants_on_completion is None:
+            self._check_on_completion = config_mod.AUTO_CHECK_INVARIANTS
+        else:
+            self._check_on_completion = config.check_invariants_on_completion
         self.events = EventQueue()
         self.now = 0.0
         self.current_iteration = 0
@@ -130,17 +150,31 @@ class Simulator:
         self._kernel_end = kernel_start
         for sm in self.scheduler.launch(kernel):
             self._schedule_sm(sm, sm.time_ns)
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start_kernel(kernel.name, kernel_start)
+        tick_budget = interval = \
+            watchdog.interval_events if watchdog is not None else 0
         while not self._kernel_done:
             if not self.events:
                 raise SimulationError(
                     f"kernel {kernel.name!r} deadlocked: no events pending "
-                    "but thread blocks remain"
+                    f"but thread blocks remain (blocked pages: "
+                    f"{sorted(self.mshr.pages())[:8]})"
                 )
             self.now, callback = self.events.pop()
             callback(self.now)
+            if watchdog is not None:
+                tick_budget -= 1
+                if tick_budget <= 0:
+                    tick_budget = interval
+                    watchdog.note_events(interval)
+                    watchdog.tick(self)
         self.now = max(self.now, self._kernel_end)
         duration = self._kernel_end - kernel_start
         self.stats.kernel_times_ns.append(duration)
+        if self._check_on_completion:
+            self.check_invariants()
         return duration
 
     def synchronize(self) -> None:
@@ -156,11 +190,16 @@ class Simulator:
         self.events.push(time_ns, callback)
 
     def wake_warps(self, waiters: list, now_ns: float) -> None:
-        """Unblock warps whose page arrived and kick their SMs."""
-        kicked: set[StreamingMultiprocessor] = set()
+        """Unblock warps whose page arrived and kick their SMs.
+
+        The dedup must preserve waiter order: a set of SM objects iterates
+        in id()-hash order, which varies across processes and made
+        same-timestamp wakeups (and thus whole runs) nondeterministic.
+        """
+        kicked: dict[StreamingMultiprocessor, None] = {}
         for warp in waiters:
             warp.wake()
-            kicked.add(warp.sm)
+            kicked[warp.sm] = None
         for sm in kicked:
             sm.time_ns = max(sm.time_ns, now_ns)
             self._schedule_sm(sm, sm.time_ns)

@@ -37,11 +37,20 @@ class Gmmu:
         if self.ctx.page_table.is_valid(page):
             sm.tlb.insert(page)
             return True
-        is_new = self.mshr.register(page, warp, now_ns)
-        if is_new:
+        outcome = self.mshr.register_fault(page, warp, now_ns)
+        if outcome == "new":
             # A genuine new far-fault: no valid PTE and no transfer in
             # flight for this page.
             self.driver.on_new_fault(page, now_ns)
-        else:
+            injector = self.mshr.injector
+            if injector is not None and injector.duplicate_fault():
+                # The fault packet was delivered twice; the driver's batch
+                # dedup absorbs the repeat.
+                self.driver.on_new_fault(page, now_ns)
+        elif outcome == "merged":
             stats.mshr_merges += 1
+        else:
+            # Notification lost (dropped or fault-buffer overflow): the
+            # warp stays parked on the MSHR entry until redelivery.
+            self.driver.on_lost_fault(page, now_ns)
         return False

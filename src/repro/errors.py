@@ -41,3 +41,35 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was parameterized inconsistently."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection profile is invalid or an injection hook misfired."""
+
+
+class RetryExhaustedError(ReproError):
+    """A migration kept failing past the profile's retry budget."""
+
+
+class WatchdogTimeout(ReproError):
+    """The watchdog detected livelock or a blown simulated-time budget.
+
+    Carries a structured diagnostic so harnesses can report *why* a run
+    was aborted instead of merely that it hung.
+    """
+
+    def __init__(self, reason: str, kernel: str, now_ns: float,
+                 events_processed: int, pending_events: int,
+                 progress: dict[str, float]) -> None:
+        self.reason = reason
+        self.kernel = kernel
+        self.now_ns = now_ns
+        self.events_processed = events_processed
+        self.pending_events = pending_events
+        self.progress = dict(progress)
+        detail = ", ".join(f"{k}={v}" for k, v in self.progress.items())
+        super().__init__(
+            f"watchdog abort ({reason}) in kernel {kernel!r} at "
+            f"t={now_ns:.0f} ns after {events_processed} events "
+            f"({pending_events} pending); progress: {detail}"
+        )

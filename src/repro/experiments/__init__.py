@@ -8,6 +8,7 @@ that prints them.  The benchmarks in ``benchmarks/`` wrap these runners.
 from .common import (
     COMBINATIONS,
     ExperimentResult,
+    FailedRun,
     combo_config,
     run_suite_setting,
 )
@@ -15,6 +16,7 @@ from .common import (
 __all__ = [
     "COMBINATIONS",
     "ExperimentResult",
+    "FailedRun",
     "combo_config",
     "run_suite_setting",
 ]

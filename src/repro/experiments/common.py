@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.report import format_table
 from ..config import SimulatorConfig, oversubscribed
+from ..errors import ReproError
 from ..runtime import UvmRuntime
 from ..stats import SimStats
 from ..workloads.base import Workload
@@ -84,6 +85,23 @@ def combo_config(
                           oversubscription_percent, **kwargs)
 
 
+@dataclass(frozen=True)
+class FailedRun:
+    """Structured record of one workload run that raised.
+
+    Returned in place of :class:`SimStats` when
+    :func:`run_suite_setting` runs with ``isolate_failures=True``, so one
+    misbehaving configuration cannot take down a whole suite sweep.
+    """
+
+    workload: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.error_type}: {self.message}"
+
+
 def run_workload_setting(workload: Workload,
                          config: SimulatorConfig) -> SimStats:
     """Run one workload under one config on a fresh runtime."""
@@ -93,13 +111,27 @@ def run_workload_setting(workload: Workload,
 def run_suite_setting(
     scale: float,
     workload_names: list[str] | None = None,
+    isolate_failures: bool = False,
     **setting: object,
-) -> dict[str, SimStats]:
-    """Run the (sub)suite under one setting; returns name -> stats."""
+) -> dict[str, SimStats | FailedRun]:
+    """Run the (sub)suite under one setting; returns name -> stats.
+
+    With ``isolate_failures=True`` a workload that raises a
+    :class:`~repro.errors.ReproError` (retry exhaustion, watchdog abort,
+    capacity misconfiguration, ...) contributes a :class:`FailedRun` row
+    and the remaining workloads still run — essential for fault-injection
+    sweeps where some settings are *expected* to break.
+    """
     names = workload_names or list(SUITE_ORDER)
-    results: dict[str, SimStats] = {}
+    results: dict[str, SimStats | FailedRun] = {}
     for name in names:
         workload = make_workload(name, scale=scale)
         config = combo_config(workload, **setting)
-        results[name] = run_workload_setting(workload, config)
+        if not isolate_failures:
+            results[name] = run_workload_setting(workload, config)
+            continue
+        try:
+            results[name] = run_workload_setting(workload, config)
+        except ReproError as exc:
+            results[name] = FailedRun(name, type(exc).__name__, str(exc))
     return results

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and resilience for the UVM simulator.
+
+The paper's conclusions hinge on driver behaviour under pressure; this
+package lets the reproduction *create* pressure on demand.  A
+:class:`~repro.faultinject.profile.FaultProfile` describes, with its own
+seeded RNG stream, how often the simulated stack misbehaves at each hook
+point:
+
+* ``interconnect/pcie.py`` — transient migration-transfer failures and
+  latency spikes;
+* ``memory/mshr.py`` — far-fault notifications dropped or duplicated, and
+  transient fault-buffer (MSHR) overflow;
+* ``core/driver.py`` — delayed fault-batch servicing.
+
+The driver answers with capped-exponential-backoff retries, graceful
+degradation to on-demand paging, and a watchdog that aborts livelocked
+runs with a structured :class:`~repro.errors.WatchdogTimeout` instead of
+hanging.  With ``fault_profile=None`` every hook is a no-op and results
+are identical to a build without this package.
+"""
+
+from .injector import FaultInjector
+from .profile import PROFILES, FaultProfile, load_profile
+from .watchdog import Watchdog
+
+__all__ = [
+    "FaultInjector",
+    "FaultProfile",
+    "PROFILES",
+    "Watchdog",
+    "load_profile",
+]

@@ -1,0 +1,84 @@
+"""The runtime half of fault injection: seeded decisions + accounting.
+
+One :class:`FaultInjector` is shared by every hook point of a simulator
+instance.  Decisions are drawn from a dedicated ``random.Random`` stream
+in event order, which is deterministic, so a (seed, profile) pair always
+produces the same fault sequence.  Components hold ``injector = None``
+when injection is disabled and guard every hook with a single ``is not
+None`` check, keeping the disabled path allocation- and branch-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..stats import SimStats
+from .profile import FaultProfile
+
+
+class FaultInjector:
+    """Draws injection decisions and books them into :class:`SimStats`."""
+
+    def __init__(self, profile: FaultProfile, stats: SimStats) -> None:
+        self.profile = profile
+        self.stats = stats
+        self.rng = random.Random(profile.seed)
+
+    # --- interconnect hooks -------------------------------------------------
+    def transfer_disposition(self, direction: str) -> tuple[bool, float]:
+        """(failed, latency_multiplier) for one scheduled PCI-e transfer.
+
+        Only H2D migrations may *fail* (write-back frames release on a
+        fixed schedule that a retry would have to unwind); both channels
+        may spike in latency.
+        """
+        profile = self.profile
+        failed = False
+        if direction == "h2d" and profile.transfer_fault_rate > 0.0 \
+                and self.rng.random() < profile.transfer_fault_rate:
+            failed = True
+            self.stats.injected_transfer_faults += 1
+        multiplier = 1.0
+        if profile.latency_spike_rate > 0.0 \
+                and self.rng.random() < profile.latency_spike_rate:
+            multiplier = profile.latency_spike_multiplier
+            self.stats.injected_latency_spikes += 1
+        return failed, multiplier
+
+    # --- far-fault hooks ----------------------------------------------------
+    def drop_fault(self) -> bool:
+        """True when a new far-fault's host notification is lost."""
+        profile = self.profile
+        if profile.fault_drop_rate > 0.0 \
+                and self.rng.random() < profile.fault_drop_rate:
+            self.stats.injected_dropped_faults += 1
+            return True
+        return False
+
+    def duplicate_fault(self) -> bool:
+        """True when a new far-fault is delivered to the driver twice."""
+        profile = self.profile
+        if profile.fault_duplicate_rate > 0.0 \
+                and self.rng.random() < profile.fault_duplicate_rate:
+            self.stats.injected_duplicate_faults += 1
+            return True
+        return False
+
+    def mshr_overflow(self) -> bool:
+        """True when the fault buffer transiently overflows on a new fault."""
+        profile = self.profile
+        if profile.mshr_overflow_rate > 0.0 \
+                and self.rng.random() < profile.mshr_overflow_rate:
+            self.stats.injected_mshr_overflows += 1
+            return True
+        return False
+
+    # --- driver hooks -------------------------------------------------------
+    def service_delay_ns(self) -> float:
+        """Extra latency before the driver's batch-service wake-up."""
+        profile = self.profile
+        if profile.service_delay_rate > 0.0 \
+                and self.rng.random() < profile.service_delay_rate:
+            self.stats.injected_service_delays += 1
+            return profile.service_delay_ns
+        return 0.0

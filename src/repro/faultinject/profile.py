@@ -1,0 +1,217 @@
+"""Fault-injection profiles.
+
+A :class:`FaultProfile` is a frozen, validated bundle of injection rates
+(what goes wrong, how often) and resilience policy (how the driver fights
+back).  Profiles are deterministic: the same profile and seed produce the
+same injected fault sequence on every run, which is what makes resilience
+experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: Profile fields that are probabilities (must lie in [0, 1]).
+_RATE_FIELDS = (
+    "transfer_fault_rate",
+    "latency_spike_rate",
+    "fault_drop_rate",
+    "fault_duplicate_rate",
+    "mshr_overflow_rate",
+    "service_delay_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """What to inject, and how the driver is allowed to recover.
+
+    All rates are per-opportunity probabilities drawn from one dedicated
+    RNG stream (``seed``), independent of the policy RNG, so enabling
+    injection never perturbs the random prefetcher/eviction decisions.
+    """
+
+    # --- injection (what goes wrong) ---------------------------------------
+    #: Probability one H2D migration transfer fails in flight (the data
+    #: never lands; the driver must retry).  D2H write-backs are not failed
+    #: — their frames release on a fixed schedule the retry path would
+    #: have to unwind — but they do suffer latency spikes.
+    transfer_fault_rate: float = 0.0
+    #: Probability a transfer (either channel) takes
+    #: ``latency_spike_multiplier`` times its modelled latency.
+    latency_spike_rate: float = 0.0
+    latency_spike_multiplier: float = 4.0
+    #: Probability a *new* far-fault's notification to the host is lost
+    #: (the warp stays blocked; the fault is redelivered after
+    #: ``fault_redelivery_ns``).
+    fault_drop_rate: float = 0.0
+    #: Probability a new far-fault is delivered to the driver twice.
+    fault_duplicate_rate: float = 0.0
+    #: Probability the GPU fault buffer transiently overflows on a new
+    #: fault: same lost-notification mechanics as a drop, counted apart.
+    mshr_overflow_rate: float = 0.0
+    #: Probability the driver's batch-service wake-up is delayed by
+    #: ``service_delay_ns``.
+    service_delay_rate: float = 0.0
+    service_delay_ns: float = 100_000.0
+    #: Redelivery latency for lost far-fault notifications.
+    fault_redelivery_ns: float = 50_000.0
+
+    # --- resilience (how the driver recovers) ------------------------------
+    #: Retries per transfer group before :class:`RetryExhaustedError`.
+    max_retries: int = 8
+    #: Capped exponential backoff between retries, in simulated ns:
+    #: ``min(base * multiplier**(attempt-1), cap)``.
+    backoff_base_ns: float = 10_000.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_ns: float = 1_000_000.0
+    #: Consecutive failed transfers before the driver degrades from the
+    #: active prefetcher to on-demand paging (0 disables degradation).
+    degrade_after_failures: int = 4
+
+    #: Seed of the injection RNG stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistent rate."""
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"fault profile {name} must be in [0, 1], got {value!r}"
+                )
+        if self.latency_spike_multiplier < 1.0:
+            raise ConfigurationError(
+                "latency_spike_multiplier must be >= 1"
+            )
+        for name in ("service_delay_ns", "fault_redelivery_ns",
+                     "backoff_base_ns", "backoff_cap_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"fault profile {name} must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ConfigurationError("max_retries must be a non-negative int")
+        if not isinstance(self.degrade_after_failures, int) \
+                or self.degrade_after_failures < 0:
+            raise ConfigurationError(
+                "degrade_after_failures must be a non-negative int"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError("fault profile seed must be an int")
+
+    @property
+    def injects_anything(self) -> bool:
+        """True when at least one injection rate is nonzero."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ConfigurationError("retry attempts are 1-based")
+        try:
+            raw = self.backoff_base_ns \
+                * self.backoff_multiplier ** (attempt - 1)
+        except OverflowError:
+            # multiplier**attempt exceeds float range long after the cap
+            # has taken over (a retry storm with a huge max_retries)
+            raw = self.backoff_cap_ns
+        return min(raw, self.backoff_cap_ns)
+
+    def replace(self, **changes: object) -> "FaultProfile":
+        """Validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "FaultProfile":
+        """Build (and validate) a profile from plain JSON-able fields."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault profile fields: {sorted(unknown)}"
+            )
+        return cls(**fields)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+#: Named profiles for the CLI and experiments, roughly graded by severity.
+PROFILES: dict[str, FaultProfile] = {
+    "light": FaultProfile(
+        transfer_fault_rate=0.01, latency_spike_rate=0.02,
+        fault_drop_rate=0.005,
+    ),
+    "moderate": FaultProfile(
+        transfer_fault_rate=0.05, latency_spike_rate=0.05,
+        fault_drop_rate=0.02, fault_duplicate_rate=0.02,
+        service_delay_rate=0.05,
+    ),
+    "heavy": FaultProfile(
+        transfer_fault_rate=0.15, latency_spike_rate=0.10,
+        fault_drop_rate=0.05, fault_duplicate_rate=0.05,
+        mshr_overflow_rate=0.02, service_delay_rate=0.10,
+    ),
+}
+
+
+def _coerce(text: str) -> object:
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def load_profile(spec: str | dict | FaultProfile,
+                 seed: int | None = None) -> FaultProfile:
+    """Resolve a CLI/user profile spec into a validated profile.
+
+    ``spec`` may be a :class:`FaultProfile`, a dict of fields, a named
+    profile (``light``/``moderate``/``heavy``), a JSON file path, or an
+    inline ``key=value[,key=value...]`` string.  ``seed`` overrides the
+    profile's seed when given.
+    """
+    if isinstance(spec, FaultProfile):
+        profile = spec
+    elif isinstance(spec, dict):
+        profile = FaultProfile.from_dict(spec)
+    elif spec in PROFILES:
+        profile = PROFILES[spec]
+    elif "=" in spec:
+        fields = {}
+        for pair in spec.split(","):
+            key, _, value = pair.partition("=")
+            if not _:
+                raise ConfigurationError(
+                    f"bad fault profile assignment {pair!r}"
+                )
+            fields[key.strip()] = _coerce(value.strip())
+        profile = FaultProfile.from_dict(fields)
+    else:
+        path = Path(spec)
+        if not path.is_file():
+            raise ConfigurationError(
+                f"fault profile {spec!r} is neither a named profile "
+                f"({', '.join(sorted(PROFILES))}), a key=value list, nor "
+                "a JSON file"
+            )
+        fields = json.loads(path.read_text())
+        if not isinstance(fields, dict):
+            raise ConfigurationError(
+                f"fault profile file {spec!r} must hold a JSON object"
+            )
+        profile = FaultProfile.from_dict(fields)
+    if seed is not None and seed != profile.seed:
+        profile = profile.replace(seed=seed)
+    return profile

@@ -1,0 +1,95 @@
+"""Livelock and runaway-time detection for the event loop.
+
+The engine calls :meth:`Watchdog.tick` every ``watchdog_interval_events``
+processed events.  A tick snapshots the simulator's progress counters
+(retired accesses, migrations, evictions, serviced faults); if the
+counters freeze for ``watchdog_no_progress_ticks`` consecutive ticks
+while events keep firing — the signature of a retry storm or scheduling
+cycle — or if the kernel blows its simulated-time budget, the run aborts
+with a structured :class:`~repro.errors.WatchdogTimeout` instead of
+spinning forever.  Ticks only observe; with the watchdog on (the
+default) simulation results are bit-identical to a watchdog-less run.
+"""
+
+from __future__ import annotations
+
+from ..errors import WatchdogTimeout
+
+
+class Watchdog:
+    """No-progress and time-budget sentinel for one simulator."""
+
+    def __init__(self, interval_events: int, no_progress_ticks: int,
+                 sim_time_budget_ns: float | None,
+                 invariant_check_ticks: int) -> None:
+        self.interval_events = interval_events
+        self.no_progress_ticks = no_progress_ticks
+        self.sim_time_budget_ns = sim_time_budget_ns
+        self.invariant_check_ticks = invariant_check_ticks
+        self._kernel = ""
+        self._kernel_start_ns = 0.0
+        self._events_processed = 0
+        self._stagnant_ticks = 0
+        self._ticks_this_kernel = 0
+        self._last_progress: tuple[float, ...] | None = None
+
+    def start_kernel(self, name: str, start_ns: float) -> None:
+        """Reset per-kernel tracking at launch."""
+        self._kernel = name
+        self._kernel_start_ns = start_ns
+        self._events_processed = 0
+        self._stagnant_ticks = 0
+        self._ticks_this_kernel = 0
+        self._last_progress = None
+
+    def note_events(self, count: int) -> None:
+        self._events_processed += count
+
+    @staticmethod
+    def _progress_snapshot(stats) -> dict[str, float]:
+        """Counters that move iff the simulation is doing real work.
+
+        Retries and backoff are deliberately excluded: a transfer that
+        fails forever churns those without retiring anything, and that is
+        exactly the livelock this watchdog exists to catch.
+        """
+        return {
+            "accesses": stats.tlb_hits + stats.tlb_misses,
+            "far_faults": stats.far_faults,
+            "fault_batches": stats.fault_batches,
+            "pages_migrated": stats.pages_migrated,
+            "pages_evicted": stats.pages_evicted,
+        }
+
+    def tick(self, sim) -> None:
+        """One periodic check; raises :class:`WatchdogTimeout` on trouble."""
+        stats = sim.stats
+        stats.watchdog_ticks += 1
+        self._ticks_this_kernel += 1
+        snapshot = self._progress_snapshot(stats)
+        budget = self.sim_time_budget_ns
+        if budget is not None and sim.now - self._kernel_start_ns > budget:
+            raise WatchdogTimeout(
+                reason=f"simulated-time budget {budget:.0f} ns exceeded",
+                kernel=self._kernel, now_ns=sim.now,
+                events_processed=self._events_processed,
+                pending_events=len(sim.events), progress=snapshot,
+            )
+        key = tuple(snapshot.values())
+        if key == self._last_progress:
+            self._stagnant_ticks += 1
+            if self._stagnant_ticks >= self.no_progress_ticks:
+                raise WatchdogTimeout(
+                    reason=f"no progress over {self._stagnant_ticks} ticks "
+                           f"({self._stagnant_ticks * self.interval_events} "
+                           "events)",
+                    kernel=self._kernel, now_ns=sim.now,
+                    events_processed=self._events_processed,
+                    pending_events=len(sim.events), progress=snapshot,
+                )
+        else:
+            self._stagnant_ticks = 0
+            self._last_progress = key
+        if self.invariant_check_ticks \
+                and self._ticks_this_kernel % self.invariant_check_ticks == 0:
+            sim.check_invariants()

@@ -5,6 +5,12 @@ the write channel; the two proceed in parallel (which is what makes
 pre-eviction overlap write-backs with execution).  Each channel is a FIFO:
 a transfer starts at ``max(requested_start, channel_free)`` and occupies the
 channel for ``BandwidthModel.latency_ns(size)``.
+
+Fault injection: when a :class:`~repro.faultinject.FaultInjector` is
+attached, a scheduled transfer may be marked *failed* (it still occupies
+the channel — the wire time was spent — but the data never lands, and the
+driver must retry) or suffer a latency spike.  Without an injector the
+schedule path is exactly the historical one.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ class Transfer:
     end_ns: float
     size_bytes: int
     direction: str  # "h2d" | "d2h"
+    #: True when fault injection failed this transfer in flight; the
+    #: channel time is spent but the payload must be re-sent.
+    failed: bool = False
 
     @property
     def latency_ns(self) -> float:
@@ -33,30 +42,36 @@ class PcieChannel:
     """A serialized transfer queue in one direction."""
 
     def __init__(self, model: BandwidthModel, direction: str,
-                 log: TransferLog) -> None:
+                 log: TransferLog, injector=None) -> None:
         self.model = model
         self.direction = direction
         self.log = log
+        self.injector = injector
         self.busy_until_ns = 0.0
 
     def schedule(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
         """Queue one transaction; returns its realized start/end times."""
         start = max(earliest_start_ns, self.busy_until_ns)
         latency = self.model.latency_ns(size_bytes)
+        failed = False
+        if self.injector is not None:
+            failed, multiplier = \
+                self.injector.transfer_disposition(self.direction)
+            latency *= multiplier
         end = start + latency
         self.busy_until_ns = end
         self.log.record(size_bytes, latency)
-        return Transfer(start, end, size_bytes, self.direction)
+        return Transfer(start, end, size_bytes, self.direction, failed)
 
 
 class PcieLink:
     """Duplex PCI-e link: one read (H2D) and one write (D2H) channel."""
 
     def __init__(self, model: BandwidthModel, h2d_log: TransferLog,
-                 d2h_log: TransferLog) -> None:
+                 d2h_log: TransferLog, injector=None) -> None:
         self.model = model
-        self.read = PcieChannel(model, "h2d", h2d_log)
-        self.write = PcieChannel(model, "d2h", d2h_log)
+        self.read = PcieChannel(model, "h2d", h2d_log, injector)
+        self.write = PcieChannel(model, "d2h", d2h_log, injector)
 
     def migrate(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
         """Host-to-device migration (demand or prefetch)."""

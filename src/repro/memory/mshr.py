@@ -3,6 +3,12 @@
 Concurrent faults from different warps to the same page merge into one MSHR
 entry (Figure 1, step 3): only the first fault triggers driver work, and all
 blocked warps are notified together when the migration completes (step 6).
+
+Fault injection: a new fault's *notification* to the host driver can be
+lost — either dropped on the wire or squeezed out by a transient fault-
+buffer overflow.  The entry (and its blocked warps) is still created, so
+the fault can be redelivered later; :meth:`FarFaultMSHR.register_fault`
+reports the outcome to the GMMU, which arranges redelivery.
 """
 
 from __future__ import annotations
@@ -24,13 +30,28 @@ class MshrEntry:
 class FarFaultMSHR:
     """Fixed-capacity file of outstanding far-faults, keyed by page."""
 
-    def __init__(self, entries: int) -> None:
+    def __init__(self, entries: int, injector=None) -> None:
         if entries <= 0:
             raise ValueError("MSHR file needs at least one entry")
         self.capacity = entries
+        self.injector = injector
         self._entries: dict[int, MshrEntry] = {}
         self.merges = 0
         self.peak_occupancy = 0
+
+    def _insert(self, page: int, waiter: object, now_ns: float) -> None:
+        """Create the entry for a page with no outstanding fault."""
+        if len(self._entries) >= self.capacity:
+            raise SimulationError(
+                f"MSHR overflow registering page {page}: {self.capacity} "
+                f"far-faults already outstanding (oldest pages: "
+                f"{list(self._entries)[:4]})"
+            )
+        entry = MshrEntry(page, now_ns)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[page] = entry
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
 
     def register(self, page: int, waiter: object, now_ns: float) -> bool:
         """Record a fault; returns True when this is a *new* fault.
@@ -45,16 +66,31 @@ class FarFaultMSHR:
                 entry.waiters.append(waiter)
             self.merges += 1
             return False
-        if len(self._entries) >= self.capacity:
-            raise SimulationError(
-                f"MSHR overflow: {self.capacity} outstanding far-faults"
-            )
-        entry = MshrEntry(page, now_ns)
-        if waiter is not None:
-            entry.waiters.append(waiter)
-        self._entries[page] = entry
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        self._insert(page, waiter, now_ns)
         return True
+
+    def register_fault(self, page: int, waiter: object,
+                       now_ns: float) -> str:
+        """Fault-path registration with injection; the GMMU entry point.
+
+        Returns ``"merged"`` (outstanding entry absorbed the fault),
+        ``"new"`` (driver must be notified), or ``"lost-overflow"`` /
+        ``"lost-drop"`` (entry created — the warp waits — but the host
+        notification was injected away and must be redelivered).
+        """
+        entry = self._entries.get(page)
+        if entry is not None:
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            self.merges += 1
+            return "merged"
+        self._insert(page, waiter, now_ns)
+        if self.injector is not None:
+            if self.injector.mshr_overflow():
+                return "lost-overflow"
+            if self.injector.drop_fault():
+                return "lost-drop"
+        return "new"
 
     def outstanding(self, page: int) -> bool:
         """True when a fault/migration for ``page`` is in flight."""
@@ -65,7 +101,8 @@ class FarFaultMSHR:
         entry = self._entries.pop(page, None)
         if entry is None:
             raise SimulationError(
-                f"completing page {page} with no MSHR entry"
+                f"completing page {page} with no MSHR entry "
+                f"({len(self._entries)} entries outstanding)"
             )
         return entry.waiters
 

@@ -87,6 +87,26 @@ class SimStats:
     h2d: TransferLog = field(default_factory=TransferLog)
     d2h: TransferLog = field(default_factory=TransferLog)
 
+    # --- resilience (fault injection & recovery) ---------------------------
+    #: Injected events, by hook point (all zero when injection is off).
+    injected_transfer_faults: int = 0
+    injected_latency_spikes: int = 0
+    injected_dropped_faults: int = 0
+    injected_duplicate_faults: int = 0
+    injected_mshr_overflows: int = 0
+    injected_service_delays: int = 0
+    #: Lost far-fault notifications successfully redelivered to the driver.
+    recovered_faults: int = 0
+    #: Migration transfer retries and the simulated time spent backing off.
+    migration_retries: int = 0
+    retry_backoff_ns: float = 0.0
+    #: Times the driver degraded from the active prefetcher to on-demand
+    #: after consecutive migration failures, and when each happened.
+    degradation_events: int = 0
+    degradation_times_ns: list[float] = field(default_factory=list)
+    #: Watchdog ticks observed (diagnostics; ticks never change results).
+    watchdog_ticks: int = 0
+
     # --- time --------------------------------------------------------------
     #: Wall-clock (simulated ns) per kernel launch, in launch order.
     kernel_times_ns: list[float] = field(default_factory=list)
@@ -128,6 +148,35 @@ class SimStats:
     def transfers_4kb(self) -> int:
         """Number of 4 KB host-to-device transfers (Figure 7 metric)."""
         return self.h2d.transfers_of_size(4096)
+
+    @property
+    def injected_faults(self) -> int:
+        """All injected perturbations, across every hook point."""
+        return (self.injected_transfer_faults + self.injected_latency_spikes
+                + self.injected_dropped_faults
+                + self.injected_duplicate_faults
+                + self.injected_mshr_overflows
+                + self.injected_service_delays)
+
+    def resilience_dict(self) -> dict[str, float]:
+        """Flat summary of the fault-injection/recovery counters.
+
+        Kept separate from :meth:`as_dict` so tables produced with
+        injection disabled are byte-identical to pre-injection builds.
+        """
+        return {
+            "injected_transfer_faults": self.injected_transfer_faults,
+            "injected_latency_spikes": self.injected_latency_spikes,
+            "injected_dropped_faults": self.injected_dropped_faults,
+            "injected_duplicate_faults": self.injected_duplicate_faults,
+            "injected_mshr_overflows": self.injected_mshr_overflows,
+            "injected_service_delays": self.injected_service_delays,
+            "recovered_faults": self.recovered_faults,
+            "migration_retries": self.migration_retries,
+            "retry_backoff_ns": self.retry_backoff_ns,
+            "degradation_events": self.degradation_events,
+            "watchdog_ticks": self.watchdog_ticks,
+        }
 
     def as_dict(self) -> dict[str, float]:
         """Flat summary used by reports and experiment tables."""

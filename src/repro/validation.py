@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .analysis.metrics import geomean
+from .errors import ReproError
 from .experiments import (
     fig3_prefetch_time,
     fig5_farfaults,
@@ -38,11 +39,7 @@ class ClaimCheck:
     passed: bool
 
 
-def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
-    """Run the checks; ``scale`` trades fidelity for speed."""
-    checks: list[ClaimCheck] = []
-
-    # --- Table 1 -----------------------------------------------------------
+def _check_table1(checks: list[ClaimCheck], scale: float) -> None:
     table1 = table1_pcie.run()
     max_err = max(
         abs(model - paper) / paper
@@ -55,7 +52,8 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         max_err < 1e-6,
     ))
 
-    # --- Figures 3 & 5 -------------------------------------------------------
+
+def _check_fig3_fig5(checks: list[ClaimCheck], scale: float) -> None:
     fig3 = fig3_prefetch_time.run(scale=scale)
     none_t = fig3.column("none")
     tbn_t = fig3.column("tbn")
@@ -84,7 +82,8 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         all(t <= n / 4 for n, t in zip(none_f, tbn_f)),
     ))
 
-    # --- Figure 6 -------------------------------------------------------------
+
+def _check_fig6(checks: list[ClaimCheck], scale: float) -> None:
     fig6 = fig6_oversub_sensitivity.run(scale=scale)
     rows = {row[0]: row[1:] for row in fig6.rows}
     reuse_degrades = all(
@@ -113,7 +112,8 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         buffer_hurts >= 2,
     ))
 
-    # --- Figure 11 --------------------------------------------------------------
+
+def _check_fig11(checks: list[ClaimCheck], scale: float) -> None:
     fig11 = fig11_combinations.run(scale=scale)
     names = fig11.column("workload")
     lru4k = dict(zip(names, fig11.column("LRU4K+on-demand")))
@@ -133,7 +133,8 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         combos_win and improvement > 0.4,
     ))
 
-    # --- Figure 13 ---------------------------------------------------------------
+
+def _check_fig13(checks: list[ClaimCheck], scale: float) -> None:
     fig13 = fig13_oversub_scaling.run(scale=scale)
     rows13 = {row[0]: row[1:] for row in fig13.rows}
     checks.append(ClaimCheck(
@@ -146,7 +147,8 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         and rows13["nw"][4] > rows13["nw"][0] * 3.0,
     ))
 
-    # --- Figures 15 & 16 -------------------------------------------------------------
+
+def _check_fig15_fig16(checks: list[ClaimCheck], scale: float) -> None:
     fig15 = fig15_tbne_vs_2mb.run(scale=scale)
     speedups = fig15.column("TBNe speedup")
     gain = geomean(speedups) - 1.0
@@ -172,6 +174,39 @@ def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
         streaming_zero and tbne_less >= 3,
     ))
 
+
+#: (claim-id-prefix, section description, section runner).  Sections are
+#: isolated: one crashing experiment yields a failed ClaimCheck, not a
+#: crashed validation run.
+_SECTIONS = (
+    ("table1", "PCI-e bandwidth model", _check_table1),
+    ("fig3/5", "prefetcher time & far-fault figures", _check_fig3_fig5),
+    ("fig6", "over-subscription sensitivity", _check_fig6),
+    ("fig11", "prefetcher/eviction pairings", _check_fig11),
+    ("fig13", "over-subscription scaling", _check_fig13),
+    ("fig15/16", "TBNe vs 2MB + thrashing", _check_fig15_fig16),
+)
+
+
+def validate_claims(scale: float = 0.3) -> list[ClaimCheck]:
+    """Run the checks; ``scale`` trades fidelity for speed.
+
+    Sections run isolated: a section whose experiments raise a
+    :class:`~repro.errors.ReproError` contributes one *failed*
+    :class:`ClaimCheck` describing the error, and the rest still run.
+    """
+    checks: list[ClaimCheck] = []
+    for claim_id, description, section in _SECTIONS:
+        try:
+            section(checks, scale)
+        except ReproError as exc:
+            checks.append(ClaimCheck(
+                f"{claim_id}-error",
+                f"{description} (experiment crashed)",
+                "experiments complete without errors",
+                f"{type(exc).__name__}: {exc}",
+                False,
+            ))
     return checks
 
 

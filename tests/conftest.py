@@ -1,0 +1,11 @@
+"""Test-session configuration.
+
+Simulator invariant checks (``Simulator.check_invariants``) are opt-in in
+production runs but always on under pytest: every kernel completion
+re-audits frame accounting, page-table consistency, and queue emptiness,
+so any test exercising the engine doubles as an invariant test.
+"""
+
+import repro.config
+
+repro.config.AUTO_CHECK_INVARIANTS = True
