@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the observability subsystem: one traced run
+# (trace + metrics JSON artifacts), a schema check of the exported trace,
+# one run report, and the dedicated test module including the trace-marked
+# determinism checks.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== repro trace (writes trace + metrics JSON) =="
+python -m repro trace bfs --scale 0.15 --oversubscription 110 \
+    --prefetcher tbn --eviction tbn -o "$out_dir/run.trace.json"
+
+echo
+echo "== trace schema check (Chrome trace_event / Perfetto) =="
+python - "$out_dir" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import validate_chrome_trace
+
+out_dir = Path(sys.argv[1])
+trace = json.loads((out_dir / "run.trace.json").read_text())
+problems = validate_chrome_trace(trace)
+for problem in problems:
+    print("PROBLEM:", problem)
+if problems:
+    sys.exit(1)
+metrics = json.loads((out_dir / "run.metrics.json").read_text())
+print(f"trace OK: {len(trace['traceEvents'])} events, "
+      f"{len(metrics)} metric keys")
+EOF
+
+echo
+echo "== repro report =="
+python -m repro report bfs --scale 0.15 --oversubscription 110 \
+    --prefetcher tbn --eviction tbn --fault-profile moderate --top 3
+
+echo
+echo "== observability test module (incl. trace determinism) =="
+python -m pytest tests/test_obs.py -q -m ""
+
+echo
+echo "observability smoke OK"

@@ -24,6 +24,14 @@ from .core.evict import EVICTION_REGISTRY, make_eviction_policy
 from .core.prefetch import PREFETCHER_REGISTRY, make_prefetcher
 from .errors import ReproError
 from .gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
+from .obs import (
+    MetricsRegistry,
+    SpanTracer,
+    run_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
 from .presets import PRESETS, preset_config
 from .runtime import MultiWorkloadRuntime, UvmRuntime, run_workload
 from .stats import AllocationStats, SimStats
@@ -52,6 +60,12 @@ __all__ = [
     "run_workload",
     "AllocationStats",
     "SimStats",
+    "MetricsRegistry",
+    "SpanTracer",
+    "run_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
     "validate_claims",
     "Workload",
     "default_suite",

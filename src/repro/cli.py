@@ -10,12 +10,17 @@
     python -m repro sweep srad --percents 105 110 125
     python -m repro run hotspot --fault-profile moderate
     python -m repro faults bfs --rates 0 0.05 0.2
+    python -m repro trace bfs -o run.trace.json
+    python -m repro report bfs --oversubscription 110 --top 10
 
 ``run`` executes one workload under one setting and prints the counters;
 ``experiment`` regenerates the paper's tables/figures; ``sweep`` is the
 over-subscription sensitivity matrix for one workload; ``faults`` sweeps
 a workload across fault-injection rates and prints a resilience table
-(see docs/ROBUSTNESS.md).
+(see docs/ROBUSTNESS.md); ``trace`` runs a workload with span tracing on
+and exports a Perfetto-loadable Chrome trace plus a flat metrics JSON;
+``report`` prints the human-readable run report — stall attribution and
+the slowest fault batches (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -166,6 +171,51 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="PERCENT")
     faults_p.add_argument("--seed", type=int, default=0)
 
+    def add_workload_flags(p, default_scale: float) -> None:
+        """The shared single-run knobs (trace/report mirror run)."""
+        p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+        p.add_argument("--scale", type=float, default=default_scale)
+        p.add_argument("--prefetcher", default="tbn",
+                       choices=sorted(PREFETCHER_REGISTRY))
+        p.add_argument("--eviction", default="lru4k",
+                       choices=sorted(EVICTION_REGISTRY))
+        p.add_argument("--oversubscription", type=float, default=None,
+                       metavar="PERCENT",
+                       help="working set as %% of device memory")
+        p.add_argument("--keep-prefetching", action="store_true",
+                       help="do not disable the prefetcher under "
+                            "over-subscription")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--fault-profile", default=None,
+                       help="fault-injection profile (as in `run`)")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one workload with span tracing; export a Perfetto/"
+             "Chrome trace and a flat metrics JSON",
+    )
+    add_workload_flags(trace_p, default_scale=0.3)
+    trace_p.add_argument("-o", "--out", type=Path, default=None,
+                         help="trace output path (default: "
+                              "<workload>.trace.json)")
+    trace_p.add_argument("--metrics-out", type=Path, default=None,
+                         help="metrics output path (default: "
+                              "<workload>.metrics.json next to the "
+                              "trace)")
+    trace_p.add_argument("--max-events", type=int, default=0,
+                         help="cap stored trace events (0 = unbounded)")
+    trace_p.add_argument("--report", action="store_true",
+                         help="also print the run report")
+
+    report_p = sub.add_parser(
+        "report",
+        help="run one workload with tracing and print the run report "
+             "(stall attribution, slowest fault batches)",
+    )
+    add_workload_flags(report_p, default_scale=0.3)
+    report_p.add_argument("--top", type=int, default=5,
+                          help="slowest fault batches to list")
+
     val_p = sub.add_parser("validate",
                            help="check the paper's claims against "
                                 "measured results")
@@ -241,6 +291,69 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["counter", "value"], rows))
     if config.fault_profile is not None:
         _print_resilience(stats)
+    return 0
+
+
+def _traced_runtime(args: argparse.Namespace,
+                    max_events: int = 0):
+    """Run one workload with span tracing on; returns (workload, runtime)."""
+    workload = make_workload(args.workload, scale=args.scale)
+    profile = None
+    if args.fault_profile is not None:
+        from .faultinject.profile import load_profile
+        profile = load_profile(args.fault_profile, seed=args.seed)
+    common = dict(
+        prefetcher=args.prefetcher,
+        eviction=args.eviction,
+        disable_prefetch_on_oversubscription=not args.keep_prefetching,
+        seed=args.seed,
+        fault_profile=profile,
+        trace=True,
+        trace_max_events=max_events,
+    )
+    if args.oversubscription is None:
+        config = SimulatorConfig(**common)
+    else:
+        config = oversubscribed(workload.footprint_bytes,
+                                args.oversubscription, **common)
+    runtime = UvmRuntime(config)
+    runtime.run_workload(workload)
+    return workload, runtime
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import run_report, write_chrome_trace, write_metrics
+
+    workload, runtime = _traced_runtime(args,
+                                        max_events=args.max_events)
+    out = args.out if args.out is not None \
+        else Path(f"{workload.name}.trace.json")
+    if args.metrics_out is not None:
+        metrics_out = args.metrics_out
+    else:
+        stem = out.name.removesuffix(".json").removesuffix(".trace")
+        metrics_out = out.with_name(stem + ".metrics.json")
+    tracer = runtime.tracer
+    write_chrome_trace(tracer, out)
+    write_metrics(runtime.stats, metrics_out)
+    dropped = f" ({tracer.dropped_events} dropped)" \
+        if tracer.dropped_events else ""
+    print(f"{workload.name}: {len(tracer)} trace events{dropped} -> {out}")
+    print(f"metrics -> {metrics_out}")
+    print("open the trace in https://ui.perfetto.dev or chrome://tracing")
+    if args.report:
+        print()
+        print(run_report(runtime.stats, tracer,
+                         title=f"{workload.name} run report"), end="")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs import run_report
+
+    workload, runtime = _traced_runtime(args)
+    print(run_report(runtime.stats, runtime.tracer, top=args.top,
+                     title=f"{workload.name} run report"), end="")
     return 0
 
 
@@ -353,6 +466,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "faults":
         return cmd_faults(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "report":
+        return cmd_report(args)
     if args.command == "validate":
         from .validation import format_report, validate_claims
         checks = validate_claims(scale=args.scale)

@@ -127,6 +127,26 @@ class SimulatorConfig:
     #: Record one (time, residency, frames, prefetch-gate) sample per
     #: fault-service batch.
     record_timeline: bool = False
+    #: Keep every Nth access-trace sample / hard cap on samples kept
+    #: (0 = uncapped).  Overflow increments ``SimStats
+    #: .access_trace_dropped`` instead of growing the list, bounding
+    #: memory on long traced runs.
+    access_trace_stride: int = 1
+    access_trace_cap: int = 0
+    #: Same stride/cap pair for the per-batch residency timeline.
+    timeline_stride: int = 1
+    timeline_cap: int = 0
+
+    # --- Observability -----------------------------------------------------
+    #: Enable the span tracer (``repro.obs``): Chrome-trace spans for the
+    #: far-fault lifecycle, fault batches, PCI-e transfers, evictions,
+    #: and kernel launches, exportable to Perfetto.  Off by default; the
+    #: disabled path is a shared no-op singleton behind one attribute
+    #: check, so simulation results never depend on this flag.
+    trace: bool = False
+    #: Cap on stored trace events (0 = unbounded); events past the cap
+    #: are counted in ``tracer.dropped_events`` rather than kept.
+    trace_max_events: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -234,6 +254,19 @@ class SimulatorConfig:
             raise ConfigurationError(
                 "invariant_check_ticks must be a non-negative integer"
             )
+        for name in ("access_trace_stride", "timeline_stride"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        for name in ("access_trace_cap", "timeline_cap",
+                     "trace_max_events"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative integer, got {value!r}"
+                )
 
     @property
     def pages_per_block(self) -> int:

@@ -34,6 +34,17 @@ from functools import partial
 from ..errors import RetryExhaustedError, SimulationError
 from ..interconnect.pcie import PcieLink
 from ..memory.mshr import FarFaultMSHR
+from ..obs.tracer import (
+    CAT_INJECT,
+    NULL_TRACER,
+    PID_DRIVER,
+    PID_GPU,
+    PID_INJECT,
+    TID_EVICTION,
+    TID_INJECT,
+    TID_SERVICE,
+    TID_SM_BASE,
+)
 from .context import UvmContext
 from .evict.base import EvictionPolicy
 from .plans import MigrationPlan, TransferGroup
@@ -46,19 +57,32 @@ class UvmDriver:
 
     def __init__(self, ctx: UvmContext, link: PcieLink, mshr: FarFaultMSHR,
                  prefetcher: Prefetcher, eviction: EvictionPolicy,
-                 injector=None) -> None:
+                 injector=None, tracer=NULL_TRACER) -> None:
         self.ctx = ctx
         self.link = link
         self.mshr = mshr
         self.prefetcher = prefetcher
         self.eviction = eviction
         self.injector = injector
+        self.tracer = tracer
         #: Set by the engine right after construction.
         self.engine = None
         self._fallback = OnDemandPrefetcher()
         self._pending: list[int] = []
         self._busy = False
         self.prefetch_enabled = True
+        #: Timeline samples seen (stride bookkeeping for record_timeline).
+        self._timeline_seq = 0
+        # Registry instruments, resolved once: the per-batch path observes
+        # them directly instead of re-looking names up every batch.
+        metrics = ctx.stats.metrics
+        self._latency_hist = \
+            metrics.histogram("fault_batch.service_latency_ns")
+        self._batch_size_hist = metrics.histogram("fault_batch.size_faults")
+        self._migrated_hist = \
+            metrics.histogram("fault_batch.migrated_pages")
+        self._resident_gauge = metrics.gauge("memory.resident_pages")
+        self._frames_gauge = metrics.gauge("memory.frames_used")
         #: Consecutive failed migration transfers (resets on any success);
         #: reaching the profile's threshold triggers degraded mode.
         self._consecutive_failures = 0
@@ -78,6 +102,11 @@ class UvmDriver:
             delay = 0.0
             if self.injector is not None:
                 delay = self.injector.service_delay_ns()
+                if delay and self.tracer.enabled:
+                    self.tracer.instant(
+                        PID_INJECT, TID_INJECT, "injected:service_delay",
+                        now_ns, args={"delay_ns": delay}, cat=CAT_INJECT,
+                    )
             self.engine.schedule(now_ns + delay, self._service)
 
     def on_lost_fault(self, page: int, now_ns: float) -> None:
@@ -92,6 +121,12 @@ class UvmDriver:
             self.ctx.allocation_name_of_page(page)
         ).far_faults += 1
         delay = self.injector.profile.fault_redelivery_ns
+        if self.tracer.enabled:
+            self.tracer.instant(
+                PID_INJECT, TID_INJECT, "injected:lost_fault", now_ns,
+                args={"page": page, "redelivery_ns": delay},
+                cat=CAT_INJECT,
+            )
         self.engine.schedule(now_ns + delay,
                              partial(self._redeliver_fault, page))
 
@@ -102,6 +137,10 @@ class UvmDriver:
             # A prefetch or merged batch already covers the page.
             return
         self.ctx.stats.recovered_faults += 1
+        if self.tracer.enabled:
+            self.tracer.instant(PID_DRIVER, TID_SERVICE,
+                                "fault_redelivered", now_ns,
+                                args={"page": page})
         self._pending.append(page)
         if not self._busy:
             self._busy = True
@@ -136,23 +175,53 @@ class UvmDriver:
             return
         stats.fault_batches += 1
         if config.record_timeline:
-            stats.timeline.append((
-                now_ns,
-                page_table.valid_count,
-                self.ctx.frames.used,
-                self.prefetch_enabled,
-            ))
+            self._timeline_seq += 1
+            if (self._timeline_seq - 1) % config.timeline_stride == 0:
+                if config.timeline_cap \
+                        and len(stats.timeline) >= config.timeline_cap:
+                    stats.timeline_dropped += 1
+                else:
+                    stats.timeline.append((
+                        now_ns,
+                        page_table.valid_count,
+                        self.ctx.frames.used,
+                        self.prefetch_enabled,
+                    ))
         if config.batch_fault_handling:
             handling_ns = config.fault_handling_latency_ns
         else:
             handling_ns = config.fault_handling_latency_ns * len(batch)
         stats.total_fault_handling_ns += handling_ns
         handled_at = now_ns + handling_ns
+        # Batch-boundary instruments: per-batch service latency (what
+        # total_fault_handling_ns cannot show) and residency samples.
+        self._latency_hist.observe(handling_ns)
+        self._batch_size_hist.observe(len(batch))
+        self._resident_gauge.set(page_table.valid_count)
+        self._frames_gauge.set(self.ctx.frames.used)
 
         self._update_prefetch_gate(len(batch))
         active = self.prefetcher if self.prefetch_enabled else self._fallback
         plan = active.plan(batch, self.ctx)
         self._make_room_and_trim(plan, now_ns)
+        self._migrated_hist.observe(plan.total_pages)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Batches are serialized by _handling_done, so these complete
+            # spans tile the service track without overlapping.
+            tracer.complete(
+                PID_DRIVER, TID_SERVICE, "fault_batch", now_ns,
+                handled_at,
+                args={"batch": stats.fault_batches,
+                      "faults": len(batch),
+                      "migrated_pages": plan.total_pages,
+                      "prefetch_enabled": self.prefetch_enabled},
+            )
+            tracer.counter(
+                PID_DRIVER, TID_SERVICE, "residency", now_ns,
+                {"resident_pages": page_table.valid_count,
+                 "frames_used": self.ctx.frames.used},
+            )
         self._execute_migration(plan, now_ns=now_ns,
                                 batch_start_ns=now_ns,
                                 batched_handling=config.batch_fault_handling)
@@ -262,6 +331,7 @@ class UvmDriver:
         latency = handling_latency_ns if handling_latency_ns is not None \
             else config.fault_handling_latency_ns
         faults_handled = 0
+        tracing = self.tracer.enabled
         for group in plan.ordered_groups():
             if batched_handling or not group.has_fault:
                 handled_at = batch_start_ns + latency
@@ -272,8 +342,14 @@ class UvmDriver:
             if frames_ready > handled_at:
                 ctx.stats.eviction_stall_ns += frames_ready - handled_at
             start_floor = max(handled_at, frames_ready)
+            note = None
+            if tracing:
+                note = {"pages": len(group.pages),
+                        "prefetch": not group.has_fault}
+                if frames_ready > handled_at:
+                    note["eviction_stall_ns"] = frames_ready - handled_at
             transfer = self.link.migrate(
-                len(group.pages) * page_size, start_floor
+                len(group.pages) * page_size, start_floor, note
             )
             if transfer.failed:
                 self._schedule_retry(group, transfer.end_ns, attempt=1)
@@ -305,14 +381,22 @@ class UvmDriver:
         backoff = profile.backoff_ns(attempt)
         stats.migration_retries += 1
         stats.retry_backoff_ns += backoff
+        if self.tracer.enabled:
+            self.tracer.instant(
+                PID_DRIVER, TID_SERVICE, "retry_backoff", failed_at_ns,
+                args={"attempt": attempt, "backoff_ns": backoff,
+                      "pages": len(group.pages)},
+            )
         self.engine.schedule(failed_at_ns + backoff,
                              partial(self._retry_group, group, attempt))
 
     def _retry_group(self, group: TransferGroup, attempt: int,
                      now_ns: float) -> None:
         """Re-send one group's payload after backoff."""
+        note = {"pages": len(group.pages), "retry": attempt} \
+            if self.tracer.enabled else None
         transfer = self.link.migrate(
-            len(group.pages) * self.ctx.config.page_size, now_ns
+            len(group.pages) * self.ctx.config.page_size, now_ns, note
         )
         if transfer.failed:
             self._schedule_retry(group, transfer.end_ns, attempt + 1)
@@ -332,6 +416,13 @@ class UvmDriver:
             stats = self.ctx.stats
             stats.degradation_events += 1
             stats.degradation_times_ns.append(now_ns)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    PID_DRIVER, TID_SERVICE, "degraded_to_on_demand",
+                    now_ns,
+                    args={"consecutive_failures":
+                          self._consecutive_failures},
+                )
 
     def _complete_group(self, group: TransferGroup, now_ns: float) -> None:
         """A migration transfer arrived: validate pages and wake warps."""
@@ -339,8 +430,23 @@ class UvmDriver:
         stats = ctx.stats
         if self.injector is not None:
             self._consecutive_failures = 0
+        tracer = self.tracer
         waiters: list[object] = []
         for page in group.pages:
+            if tracer.enabled:
+                # Close the far-fault lifecycle span (fault raised → warp
+                # wake) on the first faulting warp's SM track.  Emitted as
+                # an async pair: one SM routinely has many faults in
+                # flight, which complete events cannot nest.
+                entry = self.mshr.entry(page)
+                if entry is not None and entry.waiters:
+                    sm = entry.waiters[0].sm
+                    tracer.async_span(
+                        PID_GPU, TID_SM_BASE + sm.sm_id, "far_fault",
+                        tracer.new_id(), entry.first_fault_ns, now_ns,
+                        args={"page": page,
+                              "waiters": len(entry.waiters)},
+                    )
             pte = ctx.page_table.complete_migration(page, now_ns)
             per_alloc = stats.allocation(
                 ctx.allocation_name_of_page(page)
@@ -374,7 +480,10 @@ class UvmDriver:
         stats.eviction_events += 1
         if not plan.trees_preadjusted:
             ctx.adjust_trees_for_pages(plan.all_pages(), -1)
+        tracing = self.tracer.enabled
         freed = 0
+        written_back = 0
+        dropped_clean = 0
         for unit in plan.units:
             dirty = set(ctx.page_table.dirty_pages(unit.pages))
             for page in unit.pages:
@@ -388,20 +497,38 @@ class UvmDriver:
             if unit.unit_writeback:
                 # SLe/TBNe/2MB: the whole unit goes back as one transfer,
                 # clean or dirty (Section 5.1).
+                note = {"pages": len(unit.pages), "eviction": True} \
+                    if tracing else None
                 transfer = self.link.write_back(
-                    len(unit.pages) * page_size, now_ns
+                    len(unit.pages) * page_size, now_ns, note
                 )
                 ctx.frames.release(len(unit.pages), transfer.end_ns)
                 stats.pages_written_back += len(unit.pages)
+                written_back += len(unit.pages)
             else:
                 clean = len(unit.pages) - len(dirty)
                 if clean:
                     ctx.frames.release(clean, now_ns)
                     stats.pages_dropped_clean += clean
+                    dropped_clean += clean
+                note = {"pages": 1, "eviction": True} if tracing else None
                 for page in sorted(dirty):
-                    transfer = self.link.write_back(page_size, now_ns)
+                    transfer = self.link.write_back(page_size, now_ns,
+                                                    note)
                     ctx.frames.release(1, transfer.end_ns)
                 stats.pages_written_back += len(dirty)
+                written_back += len(dirty)
+        if tracing:
+            # Victim selection is instantaneous in simulated time; the
+            # write-back wire time shows on the D2H track, so the round
+            # itself is an instant with the what/why attached.
+            self.tracer.instant(
+                PID_DRIVER, TID_EVICTION, "eviction", now_ns,
+                args={"requested_pages": n_pages, "freed_pages": freed,
+                      "written_back": written_back,
+                      "dropped_clean": dropped_clean,
+                      "units": len(plan.units)},
+            )
         return freed
 
     def _maybe_threshold_preevict(self, now_ns: float) -> None:
@@ -453,8 +580,19 @@ class UvmDriver:
         # Dirty data rides the write channel in contiguous runs (frames
         # free when the transfer lands); clean pages drop immediately (the
         # host copy is current).
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.instant(
+                PID_DRIVER, TID_EVICTION, "host_access_invalidate",
+                now_ns,
+                args={"pages": len(resident), "dirty": len(dirty),
+                      "is_write": is_write},
+            )
         for start, count in contiguous_runs(sorted(dirty)):
-            transfer = self.link.write_back(count * page_size, now_ns)
+            note = {"pages": count, "host_access": True} \
+                if tracing else None
+            transfer = self.link.write_back(count * page_size, now_ns,
+                                            note)
             ctx.frames.release(count, transfer.end_ns)
             stats.pages_written_back += count
         clean = len(resident) - len(dirty)

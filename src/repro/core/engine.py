@@ -34,6 +34,13 @@ from ..memory.frames import FramePool
 from ..memory.mshr import FarFaultMSHR
 from ..memory.page_table import GpuPageTable
 from ..memory.radix_walker import make_walker
+from ..obs.tracer import (
+    NULL_TRACER,
+    PID_GPU,
+    TID_KERNELS,
+    SpanTracer,
+    standard_layout,
+)
 from ..stats import SimStats
 from .context import UvmContext
 from .driver import UvmDriver
@@ -66,15 +73,21 @@ class Simulator:
         self.injector = None
         if config.fault_profile is not None:
             self.injector = FaultInjector(config.fault_profile, self.stats)
+        #: One span tracer shared by every component; the disabled path is
+        #: the shared no-op singleton behind a single attribute check.
+        self.tracer = SpanTracer(config.trace_max_events) if config.trace \
+            else NULL_TRACER
+        standard_layout(self.tracer, config.num_sms)
         self.link = PcieLink(BandwidthModel(config.pcie_calibration),
                              self.stats.h2d, self.stats.d2h,
-                             injector=self.injector)
+                             injector=self.injector, tracer=self.tracer)
         self.mshr = FarFaultMSHR(config.mshr_entries,
                                  injector=self.injector)
         self.driver = UvmDriver(self.ctx, self.link, self.mshr,
                                 make_prefetcher(config.prefetcher),
                                 make_eviction_policy(config.eviction),
-                                injector=self.injector)
+                                injector=self.injector,
+                                tracer=self.tracer)
         self.driver.engine = self
         self.gmmu = Gmmu(self.ctx, self.mshr, self.driver)
         self.walker = make_walker(config.page_walk_model,
@@ -101,6 +114,8 @@ class Simulator:
         self.events = EventQueue()
         self.now = 0.0
         self.current_iteration = 0
+        #: Accesses seen by the access-trace sampler (stride bookkeeping).
+        self._access_seq = 0
         self._ns_per_cycle = constants.NS_PER_CYCLE
         self._kernel_done = True
         self._kernel_end = 0.0
@@ -173,6 +188,13 @@ class Simulator:
         self.now = max(self.now, self._kernel_end)
         duration = self._kernel_end - kernel_start
         self.stats.kernel_times_ns.append(duration)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                PID_GPU, TID_KERNELS, f"kernel:{kernel.name}",
+                kernel_start, self._kernel_end,
+                args={"iteration": kernel.iteration,
+                      "launch": len(self.stats.kernel_times_ns)},
+            )
         if self._check_on_completion:
             self.check_invariants()
         return duration
@@ -226,6 +248,8 @@ class Simulator:
         config = self.config
         stats = self.stats
         trace = config.record_access_trace
+        trace_stride = config.access_trace_stride
+        trace_cap = config.access_trace_cap
         access_ns = config.cycles_per_access * self._ns_per_cycle
         ns_per_cycle = self._ns_per_cycle
         walker = self.walker
@@ -256,9 +280,15 @@ class Simulator:
             page_table.mark_access(page, sm.time_ns, is_write)
             eviction.on_accessed(page, self.ctx)
             if trace:
-                stats.access_trace.append(
-                    (sm.time_ns, page, self.current_iteration)
-                )
+                self._access_seq += 1
+                if (self._access_seq - 1) % trace_stride == 0:
+                    if trace_cap \
+                            and len(stats.access_trace) >= trace_cap:
+                        stats.access_trace_dropped += 1
+                    else:
+                        stats.access_trace.append(
+                            (sm.time_ns, page, self.current_iteration)
+                        )
             warp.advance()
 
         finished = sm.reap_finished_blocks()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..gpu.warp import Warp
 from ..memory.mshr import FarFaultMSHR
+from ..obs.tracer import CAT_INJECT, PID_INJECT, TID_INJECT
 from .context import UvmContext
 
 
@@ -46,6 +47,11 @@ class Gmmu:
             if injector is not None and injector.duplicate_fault():
                 # The fault packet was delivered twice; the driver's batch
                 # dedup absorbs the repeat.
+                tracer = self.driver.tracer
+                if tracer.enabled:
+                    tracer.instant(PID_INJECT, TID_INJECT,
+                                   "injected:duplicate_fault", now_ns,
+                                   args={"page": page}, cat=CAT_INJECT)
                 self.driver.on_new_fault(page, now_ns)
         elif outcome == "merged":
             stats.mshr_merges += 1

@@ -6,6 +6,12 @@ in event order, which is deterministic, so a (seed, profile) pair always
 produces the same fault sequence.  Components hold ``injector = None``
 when injection is disabled and guard every hook with a single ``is not
 None`` check, keeping the disabled path allocation- and branch-trivial.
+
+Observability: every injected perturbation is also surfaced as a Chrome
+trace instant on the "fault injector" track when span tracing is on —
+the call sites that act on an injection decision (PCI-e channel, driver,
+GMMU) emit the instant, because they, not this class, know the simulated
+timestamp.  See ``repro.obs`` and ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations

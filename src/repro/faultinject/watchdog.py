@@ -78,6 +78,15 @@ class Watchdog:
         key = tuple(snapshot.values())
         if key == self._last_progress:
             self._stagnant_ticks += 1
+            tracer = sim.tracer
+            if tracer.enabled:
+                from ..obs.tracer import PID_DRIVER, TID_SERVICE
+                tracer.instant(
+                    PID_DRIVER, TID_SERVICE, "watchdog_stagnant",
+                    sim.now,
+                    args={"stagnant_ticks": self._stagnant_ticks,
+                          "threshold": self.no_progress_ticks},
+                )
             if self._stagnant_ticks >= self.no_progress_ticks:
                 raise WatchdogTimeout(
                     reason=f"no progress over {self._stagnant_ticks} ticks "

@@ -17,6 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.tracer import (
+    CAT_INJECT,
+    NULL_TRACER,
+    PID_INJECT,
+    PID_PCIE,
+    TID_D2H,
+    TID_H2D,
+    TID_INJECT,
+)
 from ..stats import TransferLog
 from .bandwidth import BandwidthModel
 
@@ -42,18 +51,30 @@ class PcieChannel:
     """A serialized transfer queue in one direction."""
 
     def __init__(self, model: BandwidthModel, direction: str,
-                 log: TransferLog, injector=None) -> None:
+                 log: TransferLog, injector=None,
+                 tracer=NULL_TRACER) -> None:
         self.model = model
         self.direction = direction
         self.log = log
         self.injector = injector
+        self.tracer = tracer
+        self._tid = TID_H2D if direction == "h2d" else TID_D2H
+        self._span_name = "migrate" if direction == "h2d" \
+            else "write_back"
         self.busy_until_ns = 0.0
 
-    def schedule(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
-        """Queue one transaction; returns its realized start/end times."""
+    def schedule(self, size_bytes: int, earliest_start_ns: float,
+                 note: dict | None = None) -> Transfer:
+        """Queue one transaction; returns its realized start/end times.
+
+        ``note`` is optional span context (page counts, prefetch flag,
+        retry attempt) attached to the trace event; it never affects
+        timing.
+        """
         start = max(earliest_start_ns, self.busy_until_ns)
         latency = self.model.latency_ns(size_bytes)
         failed = False
+        multiplier = 1.0
         if self.injector is not None:
             failed, multiplier = \
                 self.injector.transfer_disposition(self.direction)
@@ -61,6 +82,24 @@ class PcieChannel:
         end = start + latency
         self.busy_until_ns = end
         self.log.record(size_bytes, latency)
+        tracer = self.tracer
+        if tracer.enabled:
+            args = {"bytes": size_bytes}
+            if note:
+                args.update(note)
+            if failed:
+                args["failed"] = True
+            tracer.complete(PID_PCIE, self._tid, self._span_name,
+                            start, end, args=args)
+            if failed:
+                tracer.instant(PID_INJECT, TID_INJECT,
+                               "injected:transfer_fault", start,
+                               args={"bytes": size_bytes}, cat=CAT_INJECT)
+            if multiplier != 1.0:
+                tracer.instant(PID_INJECT, TID_INJECT,
+                               "injected:latency_spike", start,
+                               args={"multiplier": multiplier},
+                               cat=CAT_INJECT)
         return Transfer(start, end, size_bytes, self.direction, failed)
 
 
@@ -68,16 +107,18 @@ class PcieLink:
     """Duplex PCI-e link: one read (H2D) and one write (D2H) channel."""
 
     def __init__(self, model: BandwidthModel, h2d_log: TransferLog,
-                 d2h_log: TransferLog, injector=None) -> None:
+                 d2h_log: TransferLog, injector=None,
+                 tracer=NULL_TRACER) -> None:
         self.model = model
-        self.read = PcieChannel(model, "h2d", h2d_log, injector)
-        self.write = PcieChannel(model, "d2h", d2h_log, injector)
+        self.read = PcieChannel(model, "h2d", h2d_log, injector, tracer)
+        self.write = PcieChannel(model, "d2h", d2h_log, injector, tracer)
 
-    def migrate(self, size_bytes: int, earliest_start_ns: float) -> Transfer:
+    def migrate(self, size_bytes: int, earliest_start_ns: float,
+                note: dict | None = None) -> Transfer:
         """Host-to-device migration (demand or prefetch)."""
-        return self.read.schedule(size_bytes, earliest_start_ns)
+        return self.read.schedule(size_bytes, earliest_start_ns, note)
 
-    def write_back(self, size_bytes: int,
-                   earliest_start_ns: float) -> Transfer:
+    def write_back(self, size_bytes: int, earliest_start_ns: float,
+                   note: dict | None = None) -> Transfer:
         """Device-to-host eviction write-back."""
-        return self.write.schedule(size_bytes, earliest_start_ns)
+        return self.write.schedule(size_bytes, earliest_start_ns, note)

@@ -96,6 +96,11 @@ class FarFaultMSHR:
         """True when a fault/migration for ``page`` is in flight."""
         return page in self._entries
 
+    def entry(self, page: int) -> MshrEntry | None:
+        """The live entry for ``page`` (observability: first-fault time
+        and blocked warps), or None when nothing is outstanding."""
+        return self._entries.get(page)
+
     def complete(self, page: int) -> list[object]:
         """Retire the entry for ``page``; returns the waiters to wake."""
         entry = self._entries.pop(page, None)

@@ -1,0 +1,56 @@
+"""Observability: span tracing, metrics registry, exporters, run reports.
+
+Usage::
+
+    from repro import SimulatorConfig, UvmRuntime, make_workload
+    from repro.obs import run_report, write_chrome_trace, write_metrics
+
+    runtime = UvmRuntime(SimulatorConfig(trace=True))
+    stats = runtime.run_workload(make_workload("bfs", scale=0.2))
+    write_chrome_trace(runtime.tracer, "run.trace.json")  # open in Perfetto
+    write_metrics(stats, "run.metrics.json")
+    print(run_report(stats, runtime.tracer))
+
+See ``docs/OBSERVABILITY.md`` for the span model and track layout.
+"""
+
+from .export import (
+    chrome_trace_dict,
+    metrics_dict,
+    to_chrome_json,
+    to_metrics_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from .report import run_report, slowest_batches, stall_attribution
+from .tracer import NULL_TRACER, NullTracer, SpanTracer, standard_layout
+
+__all__ = [
+    "chrome_trace_dict",
+    "metrics_dict",
+    "to_chrome_json",
+    "to_metrics_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "run_report",
+    "slowest_batches",
+    "stall_attribution",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanTracer",
+    "standard_layout",
+]

@@ -1,0 +1,223 @@
+"""Named-metrics registry: counters, gauges, histograms.
+
+:class:`~repro.stats.SimStats` keeps the paper's "array of statistical
+counters" as plain dataclass fields (the hot paths increment attributes
+directly); this module is the *export and distribution* layer on top of
+them:
+
+* **counters** — monotonic totals.  SimStats scalar fields are bound into
+  the registry as lazy counters (read at snapshot time), so every field is
+  addressable by name without duplicating the increment sites.
+* **gauges** — point-in-time values with min/max/last tracking (e.g.
+  resident pages sampled on fault-batch boundaries).
+* **histograms** — bucketed distributions with sum/count/min/max (e.g.
+  per-batch fault service latency, which ``total_fault_handling_ns``
+  alone cannot show).
+
+``snapshot()`` flattens everything into one ``{name: value}`` dict ready
+for JSON export; names are dotted (``fault_batch.service_latency_ns``)
+and histogram/gauge sub-fields are suffixed (``…_count``, ``…_max``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> list[float]:
+    """``count`` bucket upper bounds: start, start*factor, ..."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return bounds
+
+
+#: Default buckets for nanosecond latencies: 1 us .. ~16 s, powers of 4.
+LATENCY_NS_BUCKETS = exponential_buckets(1e3, 4.0, 12)
+#: Default buckets for page counts: 1 .. 2048, powers of 2.
+PAGES_BUCKETS = exponential_buckets(1, 2.0, 12)
+
+
+class Counter:
+    """Monotonic total."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {self.name: self.value}
+
+
+class BoundCounter:
+    """Counter whose value is read from a callable at snapshot time.
+
+    This is how SimStats fields are exposed: the dataclass field stays the
+    single writable location (hot paths keep their plain ``+= 1``) and the
+    registry reads it lazily, so registration adds zero run-time cost.
+    """
+
+    __slots__ = ("name", "help", "_read")
+
+    def __init__(self, name: str, read, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._read = read
+
+    @property
+    def value(self):
+        return self._read()
+
+    def snapshot(self) -> dict:
+        return {self.name: self._read()}
+
+
+class Gauge:
+    """Point-in-time value; remembers last/min/max and sample count."""
+
+    __slots__ = ("name", "help", "value", "min", "max", "samples")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.min = None
+        self.max = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        return {
+            self.name: self.value,
+            f"{self.name}_min": 0 if self.min is None else self.min,
+            f"{self.name}_max": 0 if self.max is None else self.max,
+            f"{self.name}_samples": self.samples,
+        }
+
+
+class Histogram:
+    """Bucketed distribution; buckets are upper bounds, plus overflow."""
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: list[float] | None = None,
+                 help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.bounds = sorted(bounds) if bounds else list(LATENCY_NS_BUCKETS)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_dict(self) -> dict:
+        """``{"<=bound": count, ..., ">bound": overflow}``."""
+        out = {}
+        for bound, count in zip(self.bounds, self.counts):
+            out[f"le_{bound:g}"] = count
+        out[f"gt_{self.bounds[-1]:g}"] = self.counts[-1]
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            f"{self.name}_count": self.count,
+            f"{self.name}_sum": self.sum,
+            f"{self.name}_mean": self.mean,
+            f"{self.name}_min": 0 if self.min is None else self.min,
+            f"{self.name}_max": 0 if self.max is None else self.max,
+            f"{self.name}_buckets": self.bucket_dict(),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Instruments are created on first access, so call sites never check for
+    existence; re-registering a name returns the existing instrument (and
+    raises if the kind differs — a name can only ever mean one thing).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter,
+                                   lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(self, name: str, bounds: list[float] | None = None,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds, help)
+        )
+
+    def bind(self, name: str, read, help: str = "") -> BoundCounter:
+        """Expose an externally-owned value (e.g. a SimStats field)."""
+        return self._get_or_create(name, BoundCounter,
+                                   lambda: BoundCounter(name, read, help))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict:
+        """One flat dict over every instrument, sorted by name."""
+        out: dict = {}
+        for name in sorted(self._instruments):
+            out.update(self._instruments[name].snapshot())
+        return out

@@ -1,0 +1,244 @@
+"""Span-level tracer for the UVM simulator.
+
+The simulator's aggregate counters (:class:`~repro.stats.SimStats`) answer
+*how much*; the tracer answers *when* and *why*: it records timed spans for
+the far-fault lifecycle (fault raised → warp wake), driver fault-batch
+servicing, PCI-e channel occupancy, eviction rounds, and kernel launches,
+in the Chrome ``trace_event`` model so a run can be opened in Perfetto or
+``chrome://tracing``.
+
+Two implementations share the interface:
+
+* :data:`NULL_TRACER` — the disabled singleton.  Every component holds a
+  tracer unconditionally and guards emission with one attribute check
+  (``if tracer.enabled:``), so the disabled path costs a single attribute
+  load in the few non-hot call sites that trace at all, and *nothing* in
+  the SM issue loop (which never touches the tracer).
+* :class:`SpanTracer` — the recording implementation, enabled with
+  ``SimulatorConfig(trace=True)``.
+
+Event timestamps are simulated nanoseconds; the exporter converts to the
+microseconds Chrome's JSON format expects.  All event emission is
+append-order deterministic, so two runs with the same seed produce
+byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+# --- track layout -----------------------------------------------------------
+# Chrome trace events are grouped into processes (pid) and threads (tid).
+# The simulator maps its components onto a fixed layout:
+#
+#   pid 1 "GPU"       tid 0 = kernel launches, tid 1+i = SM i (far-faults)
+#   pid 2 "driver"    tid 0 = fault-batch servicing, tid 1 = eviction
+#   pid 3 "PCIe"      tid 0 = H2D (read) channel, tid 1 = D2H (write)
+#   pid 4 "injector"  tid 0 = injected perturbations (fault injection)
+
+PID_GPU = 1
+PID_DRIVER = 2
+PID_PCIE = 3
+PID_INJECT = 4
+
+TID_KERNELS = 0
+TID_SM_BASE = 1  # SM i traces on tid TID_SM_BASE + i
+
+TID_SERVICE = 0
+TID_EVICTION = 1
+
+TID_H2D = 0
+TID_D2H = 1
+
+TID_INJECT = 0
+
+#: Category names (Chrome ``cat`` field) per event family.
+CAT_SIM = "sim"
+CAT_FAULT = "fault"
+CAT_INJECT = "inject"
+
+_NS_TO_US = 1e-3
+
+
+class NullTracer:
+    """Disabled tracer: every emission is a no-op.
+
+    ``enabled`` is a plain class attribute so the guard is one attribute
+    load; no method of this class is ever called on a guarded path.
+    """
+
+    enabled = False
+    dropped_events = 0
+
+    def complete(self, pid: int, tid: int, name: str, start_ns: float,
+                 end_ns: float, args: dict | None = None,
+                 cat: str = CAT_SIM) -> None:
+        """No-op."""
+
+    def instant(self, pid: int, tid: int, name: str, ts_ns: float,
+                args: dict | None = None, cat: str = CAT_SIM) -> None:
+        """No-op."""
+
+    def counter(self, pid: int, tid: int, name: str, ts_ns: float,
+                values: dict) -> None:
+        """No-op."""
+
+    def async_span(self, pid: int, tid: int, name: str, span_id: int,
+                   start_ns: float, end_ns: float,
+                   args: dict | None = None,
+                   cat: str = CAT_FAULT) -> None:
+        """No-op."""
+
+    def name_process(self, pid: int, name: str) -> None:
+        """No-op."""
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        """No-op."""
+
+    def events(self) -> list[dict]:
+        return []
+
+
+#: Shared disabled instance; components default to this.
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Recording tracer: accumulates Chrome ``trace_event`` dicts.
+
+    ``max_events`` bounds memory on long runs (0 = unbounded); events past
+    the cap are counted in :attr:`dropped_events` instead of stored, so a
+    truncated trace is detectable rather than silently complete.  Metadata
+    (process/thread names) is stored separately and never dropped.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 0) -> None:
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._events: list[dict] = []
+        self._metadata: list[dict] = []
+        #: Monotonic id source for async (overlapping) spans.
+        self._next_id = 1
+
+    # --- id allocation ------------------------------------------------------
+    def new_id(self) -> int:
+        """A fresh process-unique id for one async span pair."""
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    # --- emission -----------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        if self.max_events and len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._events.append(event)
+
+    def complete(self, pid: int, tid: int, name: str, start_ns: float,
+                 end_ns: float, args: dict | None = None,
+                 cat: str = CAT_SIM) -> None:
+        """A begin/end span as one Chrome complete ("X") event.
+
+        Use only on tracks where spans are known not to partially overlap
+        (serialized channels, sequential kernels, back-to-back batches);
+        overlapping work belongs on :meth:`async_span`.
+        """
+        event = {
+            "name": name, "ph": "X", "cat": cat,
+            "ts": start_ns * _NS_TO_US,
+            "dur": max(0.0, end_ns - start_ns) * _NS_TO_US,
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, pid: int, tid: int, name: str, ts_ns: float,
+                args: dict | None = None, cat: str = CAT_SIM) -> None:
+        """A zero-duration point event ("i", thread scope)."""
+        event = {
+            "name": name, "ph": "i", "cat": cat, "s": "t",
+            "ts": ts_ns * _NS_TO_US, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(self, pid: int, tid: int, name: str, ts_ns: float,
+                values: dict) -> None:
+        """A counter sample ("C"); each key becomes a series."""
+        self._append({
+            "name": name, "ph": "C", "cat": CAT_SIM,
+            "ts": ts_ns * _NS_TO_US, "pid": pid, "tid": tid,
+            "args": values,
+        })
+
+    def async_span(self, pid: int, tid: int, name: str, span_id: int,
+                   start_ns: float, end_ns: float,
+                   args: dict | None = None,
+                   cat: str = CAT_FAULT) -> None:
+        """A span that may overlap others on its track ("b"/"e" pair).
+
+        Far-fault lifecycles use this: many faults are outstanding per SM
+        at once, which complete events cannot represent without violating
+        nesting.
+        """
+        begin = {
+            "name": name, "ph": "b", "cat": cat, "id": span_id,
+            "ts": start_ns * _NS_TO_US, "pid": pid, "tid": tid,
+        }
+        if args:
+            begin["args"] = args
+        self._append(begin)
+        self._append({
+            "name": name, "ph": "e", "cat": cat, "id": span_id,
+            "ts": end_ns * _NS_TO_US, "pid": pid, "tid": tid,
+        })
+
+    # --- metadata -----------------------------------------------------------
+    def name_process(self, pid: int, name: str) -> None:
+        """Label a pid ("M"/process_name)."""
+        self._metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        """Label a (pid, tid) track ("M"/thread_name)."""
+        self._metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    # --- access -------------------------------------------------------------
+    def events(self) -> list[dict]:
+        """Metadata first, then data events sorted by timestamp.
+
+        The sort is stable over the (deterministic) append order, so the
+        exported list — and therefore the serialized trace — is itself
+        deterministic for a given seed.
+        """
+        return self._metadata + sorted(
+            self._events, key=lambda e: e["ts"]
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def standard_layout(tracer, num_sms: int) -> None:
+    """Emit the process/thread naming metadata for the fixed track layout."""
+    if not tracer.enabled:
+        return
+    tracer.name_process(PID_GPU, "GPU")
+    tracer.name_thread(PID_GPU, TID_KERNELS, "kernels")
+    for i in range(num_sms):
+        tracer.name_thread(PID_GPU, TID_SM_BASE + i, f"SM {i}")
+    tracer.name_process(PID_DRIVER, "UVM driver")
+    tracer.name_thread(PID_DRIVER, TID_SERVICE, "fault service")
+    tracer.name_thread(PID_DRIVER, TID_EVICTION, "eviction")
+    tracer.name_process(PID_PCIE, "PCIe")
+    tracer.name_thread(PID_PCIE, TID_H2D, "H2D (read)")
+    tracer.name_thread(PID_PCIE, TID_D2H, "D2H (write)")
+    tracer.name_process(PID_INJECT, "fault injector")
+    tracer.name_thread(PID_INJECT, TID_INJECT, "injected events")

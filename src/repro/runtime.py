@@ -53,6 +53,12 @@ class UvmRuntime:
     def stats(self) -> SimStats:
         return self.simulator.stats
 
+    @property
+    def tracer(self):
+        """The run's span tracer (the no-op singleton unless
+        ``SimulatorConfig(trace=True)``); see :mod:`repro.obs`."""
+        return self.simulator.tracer
+
     # --- workload driving ----------------------------------------------------
     def run_workload(self, workload: Workload,
                      check_invariants: bool = False) -> SimStats:

@@ -118,7 +118,8 @@ class TestZeroCostWhenDisabled:
         assert sim.driver.injector is None
         assert sim.mshr.injector is None
         assert sim.stats.injected_faults == 0
-        assert all(v == 0 for v in sim.stats.resilience_dict().values())
+        # degradation_times_ns is a (empty) list; everything else is 0.
+        assert all(not v for v in sim.stats.resilience_dict().values())
 
     def test_resilience_counters_stay_out_of_as_dict(self):
         stats = run_scan(prefetcher="tbn").stats
