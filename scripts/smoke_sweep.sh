@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the sweep executor and run cache: one tiny
+# experiment run twice against a fresh cache directory — the first run
+# executes simulations, the second must be served entirely from cache
+# with byte-identical stdout — plus the dedicated test module including
+# the sweep-marked multi-process determinism checks.  Exits nonzero on
+# any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== repro experiment fig11 (cold cache, --jobs 2) =="
+python -m repro experiment fig11 --scale 0.12 --jobs 2 \
+    --cache-dir "$out_dir/runcache" \
+    > "$out_dir/first.out" 2> "$out_dir/first.err"
+cat "$out_dir/first.out"
+grep '^\[sweep\]' "$out_dir/first.err"
+
+echo
+echo "== repro experiment fig11 (warm cache, --jobs 2) =="
+python -m repro experiment fig11 --scale 0.12 --jobs 2 \
+    --cache-dir "$out_dir/runcache" \
+    > "$out_dir/second.out" 2> "$out_dir/second.err"
+grep '^\[sweep\]' "$out_dir/second.err"
+
+echo
+echo "== warm run must execute nothing and print identical tables =="
+grep -q '^\[sweep\] 0 simulation(s) executed' "$out_dir/second.err" || {
+    echo "FAIL: second run re-executed simulations" >&2
+    exit 1
+}
+cmp "$out_dir/first.out" "$out_dir/second.out" || {
+    echo "FAIL: cached run's stdout differs from the cold run" >&2
+    exit 1
+}
+echo "cache hit: 0 simulations, stdout byte-identical"
+
+echo
+echo "== sweep test module (incl. multi-process determinism) =="
+python -m pytest tests/test_sweep.py -q -m ""
+
+echo
+echo "sweep smoke OK"

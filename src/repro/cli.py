@@ -6,8 +6,8 @@
     python -m repro run hotspot --prefetcher tbn --eviction tbn \
         --oversubscription 110 --scale 0.5
     python -m repro experiment fig11 --scale 0.4
-    python -m repro experiment all --out results/
-    python -m repro sweep srad --percents 105 110 125
+    python -m repro experiment all --out results/ --jobs 4
+    python -m repro sweep srad --percents 105 110 125 --jobs 2
     python -m repro run hotspot --fault-profile moderate
     python -m repro faults bfs --rates 0 0.05 0.2
     python -m repro trace bfs -o run.trace.json
@@ -21,6 +21,13 @@ a workload across fault-injection rates and prints a resilience table
 and exports a Perfetto-loadable Chrome trace plus a flat metrics JSON;
 ``report`` prints the human-readable run report — stall attribution and
 the slowest fault batches (see docs/OBSERVABILITY.md).
+
+``experiment`` and ``sweep`` accept ``--jobs N`` to fan simulations out
+over a process pool and consult an on-disk run cache under
+``results/.runcache/`` so repeated invocations re-execute nothing
+(``--no-cache`` bypasses it, ``--cache-dir`` relocates it; see
+docs/SWEEP.md).  The cache/pool summary goes to stderr so tables on
+stdout stay byte-identical to serial, uncached runs.
 """
 
 from __future__ import annotations
@@ -57,6 +64,13 @@ from .experiments import (
 )
 from .presets import PRESETS, preset_config
 from .runtime import UvmRuntime
+from .sweep import (
+    DEFAULT_CACHE_DIR,
+    RunCache,
+    SweepCell,
+    execute_cells,
+    sweep_context,
+)
 from .workloads.registry import SUITE_ORDER, WORKLOAD_REGISTRY, \
     make_workload
 
@@ -102,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sweep_flags(p) -> None:
+        """The process-pool/run-cache knobs shared by experiment/sweep."""
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the simulation fan-out "
+                            "(default: 1, in-process)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not consult or populate the on-disk run "
+                            "cache")
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="run-cache directory (default: "
+                            f"{DEFAULT_CACHE_DIR})")
+
     sub.add_parser("list", help="list workloads, policies, experiments")
 
     run_p = sub.add_parser("run", help="run one workload")
@@ -142,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render an ASCII bar chart")
     exp_p.add_argument("--out", type=Path, default=None,
                        help="directory to write tables into")
+    add_sweep_flags(exp_p)
 
     sweep_p = sub.add_parser("sweep",
                              help="over-subscription sweep for a workload")
@@ -153,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(PREFETCHER_REGISTRY))
     sweep_p.add_argument("--eviction", default="tbn",
                          choices=sorted(EVICTION_REGISTRY))
+    add_sweep_flags(sweep_p)
 
     faults_p = sub.add_parser(
         "faults",
@@ -357,31 +385,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace) -> RunCache | None:
+    """The run cache the experiment/sweep flags select (None = off)."""
+    if args.no_cache:
+        return None
+    return RunCache(args.cache_dir if args.cache_dir is not None
+                    else DEFAULT_CACHE_DIR)
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
-        result = EXPERIMENTS[name](args.scale)
-        print(result.to_table())
-        if args.chart:
+    with sweep_context(jobs=args.jobs, cache=_run_cache(args)) as report:
+        for name in names:
+            result = EXPERIMENTS[name](args.scale)
+            print(result.to_table())
+            if args.chart:
+                print()
+                print(grouped_bars(result))
             print()
-            print(grouped_bars(result))
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(result.to_table() + "\n")
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(
+                    result.to_table() + "\n")
+    # Stderr on purpose: stdout must stay byte-identical across
+    # --jobs/cache settings so runs can be diffed.
+    print(f"[sweep] {report.summary()}", file=sys.stderr)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    rows = []
-    for percent in args.percents:
-        workload = make_workload(args.workload, scale=args.scale)
-        config = oversubscribed(
-            workload.footprint_bytes, percent,
-            prefetcher=args.prefetcher, eviction=args.eviction,
-            disable_prefetch_on_oversubscription=False,
+    workload = make_workload(args.workload, scale=args.scale)
+    cells = [
+        SweepCell(
+            workload_spec={"name": args.workload, "scale": args.scale},
+            config=oversubscribed(
+                workload.footprint_bytes, percent,
+                prefetcher=args.prefetcher, eviction=args.eviction,
+                disable_prefetch_on_oversubscription=False,
+            ),
+            label=percent,
         )
-        stats = UvmRuntime(config).run_workload(workload)
+        for percent in args.percents
+    ]
+    with sweep_context(jobs=args.jobs, cache=_run_cache(args)) as report:
+        outcomes = execute_cells(cells)
+    rows = []
+    for percent, stats in zip(args.percents, outcomes):
         rows.append([f"{percent:.0f}%",
                      stats.total_kernel_time_ns / 1e6,
                      stats.far_faults, stats.pages_evicted,
@@ -390,6 +439,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["oversub", "time (ms)", "faults", "evicted", "thrashed"], rows,
         title=f"{args.workload} sweep ({args.prefetcher}+{args.eviction})",
     ))
+    print(f"[sweep] {report.summary()}", file=sys.stderr)
     return 0
 
 

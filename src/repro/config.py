@@ -9,6 +9,8 @@ Pascal-class GPU, 28 SMs at 1481 MHz, 4 KB pages, 45 us fault handling,
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 from . import constants
@@ -288,6 +290,63 @@ class SimulatorConfig:
     def replace(self, **changes: object) -> "SimulatorConfig":
         """Return a validated copy with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    # --- serialization / content addressing --------------------------------
+    def to_dict(self) -> dict:
+        """Every field as plain JSON-able values.
+
+        ``fault_profile`` flattens to its field dict and the
+        ``pcie_calibration`` keys become strings (JSON objects only have
+        string keys); :meth:`from_dict` reverses both, so
+        ``SimulatorConfig.from_dict(config.to_dict()) == config``.
+        """
+        out: dict[str, object] = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "fault_profile":
+                out[spec.name] = None if value is None else value.to_dict()
+            elif spec.name == "pcie_calibration":
+                out[spec.name] = None if value is None else {
+                    str(size): float(bandwidth)
+                    for size, bandwidth in sorted(value.items())
+                }
+            else:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulatorConfig":
+        """Rebuild (and re-validate) a config from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"config data must be a dict, got {type(data).__name__}"
+            )
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimulatorConfig fields: {', '.join(unknown)}"
+            )
+        fields = dict(data)
+        calibration = fields.get("pcie_calibration")
+        if calibration is not None:
+            fields["pcie_calibration"] = {
+                int(size): float(bandwidth)
+                for size, bandwidth in calibration.items()
+            }
+        return cls(**fields)  # fault_profile dicts are coerced by validate
+
+    def cache_key(self) -> str:
+        """Stable content hash of this configuration.
+
+        The key is the SHA-256 of the canonical (sorted, compact) JSON of
+        :meth:`to_dict`, so two configs hash equal exactly when every
+        field — including observational knobs — is equal.  Used by
+        :mod:`repro.sweep` to address cached run results.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def pascal_gtx1080ti(**overrides: object) -> SimulatorConfig:

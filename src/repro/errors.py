@@ -47,6 +47,10 @@ class FaultInjectionError(ReproError):
     """A fault-injection profile is invalid or an injection hook misfired."""
 
 
+class SweepError(ReproError):
+    """A sweep cell failed (or its cached result could not be used)."""
+
+
 class RetryExhaustedError(ReproError):
     """A migration kept failing past the profile's retry budget."""
 

@@ -10,6 +10,8 @@ from .common import (
     ExperimentResult,
     FailedRun,
     combo_config,
+    resolve_workload_names,
+    run_settings,
     run_suite_setting,
 )
 
@@ -18,5 +20,7 @@ __all__ = [
     "ExperimentResult",
     "FailedRun",
     "combo_config",
+    "resolve_workload_names",
+    "run_settings",
     "run_suite_setting",
 ]

@@ -7,8 +7,7 @@ insert-on-validation LRU design choice of Section 5.3.
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 OVERSUBSCRIPTION_PERCENT = 110.0
 
@@ -17,16 +16,15 @@ def run_fault_batching(scale: float = 0.5,
                        workload_names: list[str] | None = None
                        ) -> ExperimentResult:
     """Serialized 45 us-per-fault handling vs one-latency-per-batch."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        label: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction="tbn",
             oversubscription_percent=None,
             batch_fault_handling=batched,
-        )
+        ))
         for label, batched in (("serialized", False), ("batched", True))
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: fault batching",
         description="kernel time (ms): serialized 45us per fault vs one "
@@ -46,17 +44,16 @@ def run_tbn_threshold(scale: float = 0.5,
                       workload_names: list[str] | None = None
                       ) -> ExperimentResult:
     """Sweep the TBNp/TBNe balancing threshold around the hardware 50%."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        threshold: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (threshold, dict(
             prefetcher="tbn", eviction="tbn",
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=True,
             tbn_threshold=threshold,
-        )
+        ))
         for threshold in thresholds
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: TBN threshold",
         description="TBNe+TBNp kernel time (ms) vs tree balance threshold "
@@ -79,17 +76,16 @@ def run_lru_insertion(scale: float = 0.5,
     Probes Section 5.3's observation that the traditional LRU list never
     sees prefetched-but-unaccessed pages.
     """
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        label: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction=eviction,
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=False,
-        )
+        ))
         for label, eviction in (("on-access", "lru4k"),
                                 ("on-validation", "lru4k-validated"))
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: LRU insertion",
         description="LRU 4KB kernel time (ms): pages enter the list on "
@@ -108,16 +104,15 @@ def run_page_walk_model(scale: float = 0.5,
                         workload_names: list[str] | None = None
                         ) -> ExperimentResult:
     """Table 2's fixed 100-cycle walk vs the 4-level radix + PWC model."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        label: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction="lru4k",
             oversubscription_percent=None,
             page_walk_model=model,
-        )
+        ))
         for label, model in (("fixed", "fixed"), ("radix", "radix"))
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: page-walk model",
         description="kernel time (ms): fixed 100-cycle walk vs 4-level "
@@ -137,16 +132,15 @@ def run_fault_buffer(scale: float = 0.5,
                      workload_names: list[str] | None = None
                      ) -> ExperimentResult:
     """Finite GPU fault-buffer sizes vs the unlimited default."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        limit: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (limit, dict(
             prefetcher="tbn", eviction="lru4k",
             oversubscription_percent=None,
             fault_batch_limit=limit,
-        )
+        ))
         for limit in limits
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: fault buffer",
         description="kernel time (ms) vs per-batch fault-buffer capacity "
@@ -174,16 +168,15 @@ def run_fault_latency(scale: float = 0.5,
     (Section 6.1).  This sweep shows how directly that constant scales
     fault-bound kernel time.
     """
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        latency: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (latency, dict(
             prefetcher="tbn", eviction="lru4k",
             oversubscription_percent=None,
             fault_handling_latency_ns=latency * 1e3,
-        )
+        ))
         for latency in latencies_us
-    }
+    ])
     result = ExperimentResult(
         name="Ablation: fault latency",
         description="kernel time (ms) vs far-fault handling latency "

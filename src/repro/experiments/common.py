@@ -3,21 +3,32 @@
 The paper's evaluation revolves around a handful of *settings*: a prefetcher
 + eviction-policy pairing, an over-subscription percentage, and optional
 free-page buffer / LRU-reservation fractions.  :func:`combo_config` builds a
-validated :class:`~repro.config.SimulatorConfig` for a setting, and
-:func:`run_suite_setting` evaluates the whole benchmark suite under it.
+validated :class:`~repro.config.SimulatorConfig` for a setting,
+:func:`run_suite_setting` evaluates the whole benchmark suite under it, and
+:func:`run_settings` evaluates a suite under *many* settings at once — the
+whole cross-product is enumerated as declarative
+:class:`~repro.sweep.SweepCell` lists that
+:func:`~repro.sweep.execute_cells` fans out (in parallel, and against the
+run cache, when the CLI opens a :func:`~repro.sweep.sweep_context`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Hashable, Sequence
 
 from ..analysis.report import format_table
 from ..config import SimulatorConfig, oversubscribed
-from ..errors import ReproError
+from ..errors import ReproError, WorkloadError
 from ..runtime import UvmRuntime
-from ..stats import SimStats
+from ..stats import FailedRun, SimStats
+from ..sweep import SweepCell, execute_cells
 from ..workloads.base import Workload
-from ..workloads.registry import SUITE_ORDER, make_workload
+from ..workloads.registry import (
+    SUITE_ORDER,
+    WORKLOAD_REGISTRY,
+    make_workload,
+)
 
 #: The four pairings of Figure 11, in the paper's order: (label,
 #: prefetcher, eviction, keep-prefetching-under-over-subscription).
@@ -51,7 +62,14 @@ class ExperimentResult:
 
     def column(self, header: str) -> list[object]:
         """All values of one column, by header name."""
-        index = self.headers.index(header)
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            available = ", ".join(repr(h) for h in self.headers)
+            raise ReproError(
+                f"{self.name} has no column {header!r}; "
+                f"available columns: {available}"
+            ) from None
         return [row[index] for row in self.rows]
 
 
@@ -85,21 +103,28 @@ def combo_config(
                           oversubscription_percent, **kwargs)
 
 
-@dataclass(frozen=True)
-class FailedRun:
-    """Structured record of one workload run that raised.
+def resolve_workload_names(
+    workload_names: Sequence[str] | None,
+) -> list[str]:
+    """Validate and normalize a workload-name selection.
 
-    Returned in place of :class:`SimStats` when
-    :func:`run_suite_setting` runs with ``isolate_failures=True``, so one
-    misbehaving configuration cannot take down a whole suite sweep.
+    ``None`` means the paper's whole suite; an explicit empty list means
+    *no* workloads (it used to silently mean "the whole suite" via a
+    truthiness check).  Unknown names raise
+    :class:`~repro.errors.WorkloadError` up front, before any simulation
+    time is spent.
     """
-
-    workload: str
-    error_type: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.error_type}: {self.message}"
+    if workload_names is None:
+        return list(SUITE_ORDER)
+    names = list(workload_names)
+    unknown = sorted(set(names) - set(WORKLOAD_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(WORKLOAD_REGISTRY))
+        raise WorkloadError(
+            f"unknown workload name(s): {', '.join(unknown)}; "
+            f"known: {known}"
+        )
+    return names
 
 
 def run_workload_setting(workload: Workload,
@@ -108,30 +133,80 @@ def run_workload_setting(workload: Workload,
     return UvmRuntime(config).run_workload(workload)
 
 
+def _local_runner(cell: SweepCell) -> SimStats:
+    """In-process cell execution, routed through the patchable seam.
+
+    The module-global :func:`run_workload_setting` is looked up at call
+    time on purpose: fault-injection tests monkeypatch it to make chosen
+    workloads explode.
+    """
+    workload = make_workload(**cell.workload_spec)
+    return run_workload_setting(workload, cell.config)
+
+
+def setting_cells(scale: float, names: Sequence[str],
+                  label: Hashable = None,
+                  **setting: object) -> list[SweepCell]:
+    """One cell per workload for one experimental setting."""
+    cells = []
+    for name in names:
+        workload = make_workload(name, scale=scale)
+        cells.append(SweepCell(
+            workload_spec={"name": name, "scale": scale},
+            config=combo_config(workload, **setting),
+            label=label,
+        ))
+    return cells
+
+
+def run_settings(
+    scale: float,
+    workload_names: Sequence[str] | None,
+    settings: Sequence[tuple[Hashable, dict]],
+    isolate_failures: bool = False,
+) -> dict[Hashable, dict[str, SimStats | FailedRun]]:
+    """Run the (sub)suite under several settings in one fan-out.
+
+    ``settings`` is a sequence of ``(label, combo_config-kwargs)`` pairs
+    with unique labels; the result maps ``label -> workload -> stats``.
+    Enumerating the full cross-product here (instead of one
+    :func:`run_suite_setting` call per column) lets the executor spread
+    an entire figure over the process pool at once.
+    """
+    names = resolve_workload_names(workload_names)
+    labels = [label for label, _ in settings]
+    if len(set(labels)) != len(labels):
+        raise ReproError(f"duplicate setting labels: {labels!r}")
+    cells: list[SweepCell] = []
+    order: list[tuple[Hashable, str]] = []
+    for label, setting in settings:
+        cells.extend(setting_cells(scale, names, label=label, **setting))
+        order.extend((label, name) for name in names)
+    outcomes = execute_cells(cells, isolate_failures=isolate_failures,
+                             local_runner=_local_runner)
+    results: dict[Hashable, dict[str, SimStats | FailedRun]] = {
+        label: {} for label in labels
+    }
+    for (label, name), outcome in zip(order, outcomes):
+        results[label][name] = outcome
+    return results
+
+
 def run_suite_setting(
     scale: float,
-    workload_names: list[str] | None = None,
+    workload_names: Sequence[str] | None = None,
     isolate_failures: bool = False,
     **setting: object,
 ) -> dict[str, SimStats | FailedRun]:
     """Run the (sub)suite under one setting; returns name -> stats.
 
-    With ``isolate_failures=True`` a workload that raises a
-    :class:`~repro.errors.ReproError` (retry exhaustion, watchdog abort,
-    capacity misconfiguration, ...) contributes a :class:`FailedRun` row
-    and the remaining workloads still run — essential for fault-injection
-    sweeps where some settings are *expected* to break.
+    ``workload_names=None`` runs the paper's whole suite; an explicit
+    empty list runs nothing.  With ``isolate_failures=True`` a workload
+    that raises a :class:`~repro.errors.ReproError` (retry exhaustion,
+    watchdog abort, capacity misconfiguration, ...) contributes a
+    :class:`FailedRun` row and the remaining workloads still run —
+    essential for fault-injection sweeps where some settings are
+    *expected* to break.
     """
-    names = workload_names or list(SUITE_ORDER)
-    results: dict[str, SimStats | FailedRun] = {}
-    for name in names:
-        workload = make_workload(name, scale=scale)
-        config = combo_config(workload, **setting)
-        if not isolate_failures:
-            results[name] = run_workload_setting(workload, config)
-            continue
-        try:
-            results[name] = run_workload_setting(workload, config)
-        except ReproError as exc:
-            results[name] = FailedRun(name, type(exc).__name__, str(exc))
-    return results
+    return run_settings(scale, workload_names, [(None, dict(setting))],
+                        isolate_failures=isolate_failures)[None]

@@ -11,8 +11,7 @@ full suite.
 from __future__ import annotations
 
 from ..analysis.metrics import geomean
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 OVERSUBSCRIPTION_PERCENT = 110.0
 
@@ -23,16 +22,15 @@ POLICIES = (("SLe", "sequential-local"), ("TBNe", "tbn"),
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) for SLe vs TBNe vs the adaptive extension."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {
-        label: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction=policy,
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=True,
-        )
+        ))
         for label, policy in POLICIES
-    }
+    ])
     result = ExperimentResult(
         name="Extension: adaptive pre-eviction",
         description="kernel time (ms): SLe vs TBNe vs thrash-adaptive "

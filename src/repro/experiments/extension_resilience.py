@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..faultinject.profile import FaultProfile
 from ..stats import SimStats
-from .common import ExperimentResult, FailedRun, run_suite_setting
+from .common import ExperimentResult, FailedRun, run_settings
 
 OVERSUBSCRIPTION_PERCENT = 110.0
 
@@ -59,17 +59,18 @@ def run(scale: float = 0.4,
         workload_names: list[str] | None = None,
         rates: tuple[float, ...] = RATES) -> ExperimentResult:
     """Slowdown vs injected fault rate, on-demand vs TBNe+TBNp."""
-    names = list(workload_names or DEFAULT_WORKLOADS)
-    collected: dict[tuple[str, float], dict] = {}
-    for label, prefetcher, eviction, keep in SETTINGS:
-        for rate in rates:
-            collected[label, rate] = run_suite_setting(
-                scale, names, isolate_failures=True,
-                prefetcher=prefetcher, eviction=eviction,
-                oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
-                prefetch_under_pressure=keep,
-                fault_profile=profile_for_rate(rate),
-            )
+    names = list(DEFAULT_WORKLOADS) if workload_names is None \
+        else list(workload_names)
+    collected = run_settings(scale, names, [
+        ((label, rate), dict(
+            prefetcher=prefetcher, eviction=eviction,
+            oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
+            prefetch_under_pressure=keep,
+            fault_profile=profile_for_rate(rate),
+        ))
+        for label, prefetcher, eviction, keep in SETTINGS
+        for rate in rates
+    ], isolate_failures=True)
     headers = ["workload", "fault rate"]
     for label, *_ in SETTINGS:
         headers += [f"{label} (ms)", f"{label} slowdown"]

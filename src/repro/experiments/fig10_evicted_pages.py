@@ -6,15 +6,14 @@ being evicted by the corresponding page replacement policy."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult
+from .common import ExperimentResult, resolve_workload_names
 from .fig9_eviction import POLICIES, collect
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Evicted-page counts per eviction policy in isolation."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     result = ExperimentResult(
         name="Figure 10",

@@ -12,8 +12,12 @@ from __future__ import annotations
 
 from ..analysis.metrics import geomean_speedup
 from ..stats import SimStats
-from ..workloads.registry import SUITE_ORDER
-from .common import COMBINATIONS, ExperimentResult, run_suite_setting
+from .common import (
+    COMBINATIONS,
+    ExperimentResult,
+    resolve_workload_names,
+    run_settings,
+)
 
 OVERSUBSCRIPTION_PERCENT = 110.0
 
@@ -22,22 +26,21 @@ def collect(scale: float,
             workload_names: list[str] | None = None
             ) -> dict[str, dict[str, SimStats]]:
     """Stats per combination label per workload."""
-    names = workload_names or list(SUITE_ORDER)
-    out: dict[str, dict[str, SimStats]] = {}
-    for label, prefetcher, eviction, keep_prefetching in COMBINATIONS:
-        out[label] = run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    return run_settings(scale, names, [
+        (label, dict(
             prefetcher=prefetcher, eviction=eviction,
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=keep_prefetching,
-        )
-    return out
+        ))
+        for label, prefetcher, eviction, keep_prefetching in COMBINATIONS
+    ])
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) for the four prefetcher/eviction pairings."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     labels = [label for label, *_ in COMBINATIONS]
     result = ExperimentResult(

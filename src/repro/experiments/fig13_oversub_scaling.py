@@ -9,8 +9,7 @@ be attributed to its localized sparse memory access."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 #: Over-subscription percentages swept (None = working set fits).
 PERCENTAGES: tuple[float | None, ...] = (None, 105.0, 110.0, 125.0, 150.0)
@@ -19,15 +18,15 @@ PERCENTAGES: tuple[float | None, ...] = (None, 105.0, 110.0, 125.0, 150.0)
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) for TBNe+TBNp across over-subscription levels."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {}
-    for percent in PERCENTAGES:
-        collected[percent] = run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (percent, dict(
             prefetcher="tbn", eviction="tbn",
             oversubscription_percent=percent,
             prefetch_under_pressure=True,
-        )
+        ))
+        for percent in PERCENTAGES
+    ])
     result = ExperimentResult(
         name="Figure 13",
         description="TBNe+TBNp kernel time (ms) vs over-subscription",

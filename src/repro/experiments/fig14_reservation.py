@@ -9,8 +9,7 @@ benchmarks."  Setting: TBNe+TBNp at 110% over-subscription.
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 #: LRU-head reservation fractions swept.
 RESERVATIONS = (0.0, 0.10, 0.20)
@@ -21,16 +20,16 @@ OVERSUBSCRIPTION_PERCENT = 110.0
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) for TBNe+TBNp with 0/10/20% LRU reservation."""
-    names = workload_names or list(SUITE_ORDER)
-    collected = {}
-    for fraction in RESERVATIONS:
-        collected[fraction] = run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    collected = run_settings(scale, names, [
+        (fraction, dict(
             prefetcher="tbn", eviction="tbn",
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=True,
             lru_reservation_fraction=fraction,
-        )
+        ))
+        for fraction in RESERVATIONS
+    ])
     result = ExperimentResult(
         name="Figure 14",
         description="TBNe+TBNp kernel time (ms) vs LRU reservation at "

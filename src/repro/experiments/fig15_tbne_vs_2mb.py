@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from ..analysis.metrics import geomean_speedup, speedup
 from ..stats import SimStats
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 OVERSUBSCRIPTION_PERCENT = 110.0
 
@@ -21,22 +20,21 @@ def collect(scale: float,
             oversubscription_percent: float = OVERSUBSCRIPTION_PERCENT,
             ) -> dict[str, dict[str, SimStats]]:
     """Stats for TBNe and 2MB LRU eviction, TBNp active throughout."""
-    names = workload_names or list(SUITE_ORDER)
-    return {
-        label: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    return run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction=eviction,
             oversubscription_percent=oversubscription_percent,
             prefetch_under_pressure=True,
-        )
+        ))
         for label, eviction in (("TBNe", "tbn"), ("2MB LRU", "lru2mb"))
-    }
+    ])
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) for TBNe vs 2MB LRU at 110% over-subscription."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     result = ExperimentResult(
         name="Figure 15",

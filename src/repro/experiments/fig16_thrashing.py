@@ -11,8 +11,7 @@ been evicted earlier (migration_count > 1).
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult
+from .common import ExperimentResult, resolve_workload_names
 from .fig15_tbne_vs_2mb import collect
 
 PERCENTAGES = (110.0, 125.0)
@@ -21,7 +20,7 @@ PERCENTAGES = (110.0, 125.0)
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Thrashed-page counts for TBNe vs 2MB LRU at 110% and 125%."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     headers = ["workload"]
     columns: list[tuple[str, float]] = []
     for percent in PERCENTAGES:

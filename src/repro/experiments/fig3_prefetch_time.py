@@ -8,8 +8,7 @@ prefetcher provides the best performance compared to the others."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 #: Prefetchers of Figure 3, in plot order.
 PREFETCHERS = ("none", "random", "sequential-local", "tbn")
@@ -18,18 +17,18 @@ PREFETCHERS = ("none", "random", "sequential-local", "tbn")
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) per workload and prefetcher; memory unbounded."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     result = ExperimentResult(
         name="Figure 3",
         description="kernel execution time (ms) by prefetcher, "
                     "working set fits in device memory",
         headers=["workload"] + [p for p in PREFETCHERS],
     )
-    per_prefetcher = {
-        p: run_suite_setting(scale, names, prefetcher=p, eviction="lru4k",
-                             oversubscription_percent=None)
+    per_prefetcher = run_settings(scale, names, [
+        (p, dict(prefetcher=p, eviction="lru4k",
+                 oversubscription_percent=None))
         for p in PREFETCHERS
-    }
+    ])
     for name in names:
         result.add_row(name, *(
             per_prefetcher[p][name].total_kernel_time_ns / 1e6

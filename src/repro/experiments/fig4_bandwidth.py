@@ -6,25 +6,24 @@ bandwidth achieved by the corresponding hardware prefetcher."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 from .fig3_prefetch_time import PREFETCHERS
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Average H2D bandwidth (GB/s) per workload and prefetcher."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     result = ExperimentResult(
         name="Figure 4",
         description="average PCI-e read bandwidth (GB/s) by prefetcher",
         headers=["workload"] + [p for p in PREFETCHERS],
     )
-    per_prefetcher = {
-        p: run_suite_setting(scale, names, prefetcher=p, eviction="lru4k",
-                             oversubscription_percent=None)
+    per_prefetcher = run_settings(scale, names, [
+        (p, dict(prefetcher=p, eviction="lru4k",
+                 oversubscription_percent=None))
         for p in PREFETCHERS
-    }
+    ])
     for name in names:
         result.add_row(name, *(
             per_prefetcher[p][name].h2d.average_bandwidth_gbps

@@ -7,25 +7,24 @@ far-fault."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 from .fig3_prefetch_time import PREFETCHERS
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Far-fault counts per workload and prefetcher; memory unbounded."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     result = ExperimentResult(
         name="Figure 5",
         description="total far-faults by prefetcher, no over-subscription",
         headers=["workload"] + [p for p in PREFETCHERS],
     )
-    per_prefetcher = {
-        p: run_suite_setting(scale, names, prefetcher=p, eviction="lru4k",
-                             oversubscription_percent=None)
+    per_prefetcher = run_settings(scale, names, [
+        (p, dict(prefetcher=p, eviction="lru4k",
+                 oversubscription_percent=None))
         for p in PREFETCHERS
-    }
+    ])
     for name in names:
         result.add_row(name, *(
             per_prefetcher[p][name].far_faults for p in PREFETCHERS

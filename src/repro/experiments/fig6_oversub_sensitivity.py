@@ -13,8 +13,7 @@ reaching the device memory size capacity").
 from __future__ import annotations
 
 from ..stats import SimStats
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 #: (label, oversubscription percent or None, free-page-buffer fraction).
 SETTINGS: list[tuple[str, float | None, float]] = [
@@ -31,23 +30,22 @@ def collect(scale: float,
             workload_names: list[str] | None = None
             ) -> dict[str, dict[str, SimStats]]:
     """Stats per setting label per workload (shared with Figure 7)."""
-    names = workload_names or list(SUITE_ORDER)
-    out: dict[str, dict[str, SimStats]] = {}
-    for label, percent, buffer_fraction in SETTINGS:
-        out[label] = run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    return run_settings(scale, names, [
+        (label, dict(
             prefetcher="tbn", eviction="lru4k",
             oversubscription_percent=percent,
             prefetch_under_pressure=False,
             free_page_buffer_fraction=buffer_fraction,
-        )
-    return out
+        ))
+        for label, percent, buffer_fraction in SETTINGS
+    ])
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) across the over-subscription/buffer matrix."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     result = ExperimentResult(
         name="Figure 6",

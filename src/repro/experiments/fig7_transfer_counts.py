@@ -7,15 +7,14 @@ disabled when compared against no over-subscription."
 
 from __future__ import annotations
 
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult
+from .common import ExperimentResult, resolve_workload_names
 from .fig6_oversub_sensitivity import SETTINGS, collect
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """4 KB H2D transfer counts across the over-subscription matrix."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     result = ExperimentResult(
         name="Figure 7",

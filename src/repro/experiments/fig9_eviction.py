@@ -13,8 +13,7 @@ chance of thrashing".
 from __future__ import annotations
 
 from ..stats import SimStats
-from ..workloads.registry import SUITE_ORDER
-from .common import ExperimentResult, run_suite_setting
+from .common import ExperimentResult, resolve_workload_names, run_settings
 
 #: Eviction policies compared in isolation (4 KB granularity).
 POLICIES = ("lru4k", "random")
@@ -26,22 +25,21 @@ def collect(scale: float,
             workload_names: list[str] | None = None
             ) -> dict[str, dict[str, SimStats]]:
     """Stats per eviction policy per workload (shared with Figure 10)."""
-    names = workload_names or list(SUITE_ORDER)
-    return {
-        policy: run_suite_setting(
-            scale, names,
+    names = resolve_workload_names(workload_names)
+    return run_settings(scale, names, [
+        (policy, dict(
             prefetcher="tbn", eviction=policy,
             oversubscription_percent=OVERSUBSCRIPTION_PERCENT,
             prefetch_under_pressure=False,
-        )
+        ))
         for policy in POLICIES
-    }
+    ])
 
 
 def run(scale: float = 0.5,
         workload_names: list[str] | None = None) -> ExperimentResult:
     """Kernel time (ms) per eviction policy in isolation."""
-    names = workload_names or list(SUITE_ORDER)
+    names = resolve_workload_names(workload_names)
     collected = collect(scale, names)
     result = ExperimentResult(
         name="Figure 9",

@@ -59,6 +59,12 @@ class Counter:
     def snapshot(self) -> dict:
         return {self.name: self.value}
 
+    def state_dict(self) -> dict:
+        return {"kind": "counter", "help": self.help, "value": self.value}
+
+    def load_state(self, state: dict) -> None:
+        self.value = state["value"]
+
 
 class BoundCounter:
     """Counter whose value is read from a callable at snapshot time.
@@ -112,6 +118,16 @@ class Gauge:
             f"{self.name}_samples": self.samples,
         }
 
+    def state_dict(self) -> dict:
+        return {"kind": "gauge", "help": self.help, "value": self.value,
+                "min": self.min, "max": self.max, "samples": self.samples}
+
+    def load_state(self, state: dict) -> None:
+        self.value = state["value"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self.samples = state["samples"]
+
 
 class Histogram:
     """Bucketed distribution; buckets are upper bounds, plus overflow."""
@@ -160,6 +176,20 @@ class Histogram:
             f"{self.name}_max": 0 if self.max is None else self.max,
             f"{self.name}_buckets": self.bucket_dict(),
         }
+
+    def state_dict(self) -> dict:
+        return {"kind": "histogram", "help": self.help,
+                "bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max}
+
+    def load_state(self, state: dict) -> None:
+        self.bounds = [float(bound) for bound in state["bounds"]]
+        self.counts = [int(count) for count in state["counts"]]
+        self.count = state["count"]
+        self.sum = state["sum"]
+        self.min = state["min"]
+        self.max = state["max"]
 
 
 class MetricsRegistry:
@@ -221,3 +251,35 @@ class MetricsRegistry:
         for name in sorted(self._instruments):
             out.update(self._instruments[name].snapshot())
         return out
+
+    def live_state(self) -> dict:
+        """Serializable state of every *live* instrument, by name.
+
+        Bound counters are excluded: they read externally-owned values
+        (SimStats fields) that serialize with their owner and re-bind on
+        construction.
+        """
+        return {
+            name: instrument.state_dict()
+            for name, instrument in sorted(self._instruments.items())
+            if not isinstance(instrument, BoundCounter)
+        }
+
+    def restore_live_state(self, state: dict) -> None:
+        """Recreate/overwrite live instruments from :meth:`live_state`."""
+        for name, instrument_state in state.items():
+            kind = instrument_state.get("kind")
+            help_text = instrument_state.get("help", "")
+            if kind == "counter":
+                instrument = self.counter(name, help_text)
+            elif kind == "gauge":
+                instrument = self.gauge(name, help_text)
+            elif kind == "histogram":
+                instrument = self.histogram(
+                    name, instrument_state.get("bounds"), help_text
+                )
+            else:
+                raise ValueError(
+                    f"unknown instrument kind {kind!r} for metric {name!r}"
+                )
+            instrument.load_state(instrument_state)

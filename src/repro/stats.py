@@ -8,14 +8,22 @@ counters.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .errors import ReproError
 from .obs.metrics import (
     LATENCY_NS_BUCKETS,
     PAGES_BUCKETS,
     MetricsRegistry,
 )
+
+#: Schema version of the :meth:`SimStats.to_json` payload.  Bumped when
+#: the serialized shape changes incompatibly; the run cache treats a
+#: version mismatch as a miss.
+STATS_FORMAT = 1
 
 #: SimStats scalar fields published through the metrics registry.  The
 #: dataclass field stays the single writable location (hot paths keep
@@ -63,6 +71,30 @@ class TransferLog:
         """Number of transfers of exactly ``size_bytes``."""
         return self.histogram.get(size_bytes, 0)
 
+    def to_json_dict(self) -> dict:
+        """Lossless plain-JSON form (histogram keys become strings)."""
+        return {
+            "histogram": {
+                str(size): count
+                for size, count in sorted(self.histogram.items())
+            },
+            "total_bytes": self.total_bytes,
+            "total_transfers": self.total_transfers,
+            "busy_time_ns": self.busy_time_ns,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "TransferLog":
+        return cls(
+            histogram=Counter({
+                int(size): int(count)
+                for size, count in data["histogram"].items()
+            }),
+            total_bytes=data["total_bytes"],
+            total_transfers=data["total_transfers"],
+            busy_time_ns=data["busy_time_ns"],
+        )
+
 
 @dataclass
 class AllocationStats:
@@ -73,6 +105,45 @@ class AllocationStats:
     pages_prefetched: int = 0
     pages_evicted: int = 0
     pages_thrashed: int = 0
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Structured record of one workload run that raised.
+
+    Returned in place of :class:`SimStats` when a suite or sweep runs
+    with failure isolation, so one misbehaving configuration cannot take
+    down a whole sweep.  Round-trips through JSON like :class:`SimStats`
+    does, so failed cells are cacheable too.
+    """
+
+    workload: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.error_type}: {self.message}"
+
+    def to_json_dict(self) -> dict:
+        return {"workload": self.workload, "error_type": self.error_type,
+                "message": self.message}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FailedRun":
+        known = {"workload", "error_type", "message"}
+        if set(data) != known:
+            raise ReproError(
+                f"malformed FailedRun payload: expected keys "
+                f"{sorted(known)}, got {sorted(data)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailedRun":
+        return cls.from_json_dict(json.loads(text))
 
 
 @dataclass
@@ -235,6 +306,91 @@ class SimStats:
             "degradation_times_ns": list(self.degradation_times_ns),
             "watchdog_ticks": self.watchdog_ticks,
         }
+
+    def to_json_dict(self) -> dict:
+        """Lossless plain-JSON form of *every* field.
+
+        Unlike :meth:`as_dict` (a flat report summary), this keeps the
+        transfer histograms, traces, timelines, per-allocation records,
+        and the live metric instruments, so
+        ``SimStats.from_json_dict(stats.to_json_dict()) == stats`` — the
+        invariant the run cache depends on.
+        """
+        out: dict[str, object] = {"format": STATS_FORMAT}
+        for spec in dataclasses.fields(self):
+            name = spec.name
+            value = getattr(self, name)
+            if name in ("h2d", "d2h"):
+                out[name] = value.to_json_dict()
+            elif name == "per_allocation":
+                out[name] = {
+                    alloc: dataclasses.asdict(record)
+                    for alloc, record in sorted(value.items())
+                }
+            elif name in ("access_trace", "timeline"):
+                out[name] = [list(sample) for sample in value]
+            elif name == "metrics":
+                out[name] = value.live_state()
+            else:
+                out[name] = list(value) if isinstance(value, list) \
+                    else value
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SimStats":
+        """Rebuild a run's stats from :meth:`to_json_dict` output.
+
+        Raises :class:`~repro.errors.ReproError` on a version mismatch or
+        a payload whose keys do not exactly match the current schema, so
+        stale cache entries surface as misses instead of silently wrong
+        results.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"stats payload must be a dict, got {type(data).__name__}"
+            )
+        version = data.get("format")
+        if version != STATS_FORMAT:
+            raise ReproError(
+                f"stats payload format {version!r} != {STATS_FORMAT}"
+            )
+        field_names = {spec.name for spec in dataclasses.fields(cls)}
+        payload_names = set(data) - {"format"}
+        missing = sorted(field_names - payload_names)
+        unknown = sorted(payload_names - field_names)
+        if missing or unknown:
+            raise ReproError(
+                f"stats payload key mismatch: missing {missing}, "
+                f"unknown {unknown}"
+            )
+        stats = cls()
+        for name in field_names:
+            value = data[name]
+            if name in ("h2d", "d2h"):
+                setattr(stats, name, TransferLog.from_json_dict(value))
+            elif name == "per_allocation":
+                stats.per_allocation = {
+                    alloc: AllocationStats(**record)
+                    for alloc, record in value.items()
+                }
+            elif name in ("access_trace", "timeline"):
+                setattr(stats, name,
+                        [tuple(sample) for sample in value])
+            elif name == "metrics":
+                stats.metrics.restore_live_state(value)
+            else:
+                setattr(stats, name,
+                        list(value) if isinstance(value, list) else value)
+        return stats
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimStats":
+        return cls.from_json_dict(json.loads(text))
 
     def as_dict(self) -> dict[str, float]:
         """Flat summary used by reports and experiment tables."""

@@ -1,0 +1,29 @@
+"""Parallel sweep executor and content-addressed run cache.
+
+The paper's evaluation is a large workload x prefetcher x eviction x
+over-subscription cross-product; this package turns each point into a
+declarative :class:`SweepCell`, executes cells over a process pool with
+deterministic per-cell seeding, and memoizes results on disk keyed by
+content hash.  See docs/SWEEP.md.
+"""
+
+from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, RunCache
+from .cells import CELL_FORMAT, SweepCell
+from .executor import (
+    SweepReport,
+    active_report,
+    execute_cells,
+    sweep_context,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CELL_FORMAT",
+    "DEFAULT_CACHE_DIR",
+    "RunCache",
+    "SweepCell",
+    "SweepReport",
+    "active_report",
+    "execute_cells",
+    "sweep_context",
+]

@@ -1,0 +1,107 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every executed :class:`~repro.sweep.cells.SweepCell` stores its result —
+a lossless :meth:`SimStats.to_json_dict` payload, or a
+:class:`~repro.stats.FailedRun` for isolated failures — as one JSON file
+under ``<root>/<key[:2]>/<key>.json``, keyed by the cell's content hash.
+Re-running an experiment therefore re-executes only missing or changed
+cells, and an interrupted sweep resumes for free: completed cells are
+already on disk (writes are atomic via rename).
+
+Anything unreadable — corrupt JSON, a stale schema version, a truncated
+write — is treated as a cache miss and overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import ReproError
+from ..stats import FailedRun, SimStats
+from .cells import SweepCell
+
+#: Default cache root, next to the generated experiment tables.
+DEFAULT_CACHE_DIR = Path("results") / ".runcache"
+
+#: Version of the cache *file* schema (the envelope around the result).
+CACHE_FORMAT = 1
+
+
+class RunCache:
+    """Load/store sweep-cell results by content hash.
+
+    Tracks ``hits`` and ``misses`` for reporting; both reset with the
+    instance, not the directory, so two CLI invocations sharing one cache
+    directory each report their own counts.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Cache file for one cell key (two-character fan-out dirs)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimStats | FailedRun | None:
+        """The cached result for ``key``, or None on any miss.
+
+        A mismatched envelope/stats schema version or a malformed payload
+        counts as a miss: the cell simply re-executes and overwrites the
+        stale entry.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            result = self._decode(data, key)
+        except (ReproError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    @staticmethod
+    def _decode(data: dict, key: str) -> SimStats | FailedRun:
+        if data.get("format") != CACHE_FORMAT:
+            raise ReproError(
+                f"cache entry {key} has format {data.get('format')!r}"
+            )
+        result = data["result"]
+        kind = result["kind"]
+        if kind == "stats":
+            return SimStats.from_json_dict(result["stats"])
+        if kind == "failed":
+            return FailedRun.from_json_dict(result["failed"])
+        raise ReproError(f"cache entry {key} has unknown kind {kind!r}")
+
+    def store(self, key: str, cell: SweepCell,
+              result: SimStats | FailedRun) -> None:
+        """Persist one executed cell's result atomically.
+
+        The file also embeds the workload spec and the full config dict,
+        so a cache entry is self-describing — ``jq`` can answer "what
+        produced this?" without reverse-engineering hashes.
+        """
+        if isinstance(result, FailedRun):
+            encoded = {"kind": "failed", "failed": result.to_json_dict()}
+        else:
+            encoded = {"kind": "stats", "stats": result.to_json_dict()}
+        document = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "workload": cell.workload_spec,
+            "config": cell.config.to_dict(),
+            "result": encoded,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True))
+        tmp.replace(path)

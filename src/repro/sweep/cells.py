@@ -1,0 +1,62 @@
+"""Declarative sweep cells.
+
+A :class:`SweepCell` is the unit of work of every experiment sweep: one
+workload specification (registry name + construction parameters — enough
+to rebuild the workload in any process) paired with one fully-validated
+:class:`~repro.config.SimulatorConfig`.  Cells are *data*, not closures,
+so they can be content-addressed for the run cache and shipped to worker
+processes without pickling live simulator state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..config import SimulatorConfig
+
+#: Version of the cell-identity derivation.  Bumped when the key payload
+#: shape changes, invalidating every existing cache entry at once.
+CELL_FORMAT = 1
+
+
+@dataclass
+class SweepCell:
+    """One (workload-spec, config) point of an experiment cross-product."""
+
+    #: Keyword arguments for ``make_workload`` (at least ``name``;
+    #: usually also ``scale``).  Must be plain JSON-able values.
+    workload_spec: dict
+    config: SimulatorConfig
+    #: Opaque grouping key for the caller (e.g. a column label).  Not
+    #: part of the cell's identity: the same simulation under two labels
+    #: is still the same simulation.
+    label: object = None
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this cell's *result*.
+
+        SHA-256 over the canonical JSON of the workload spec and the full
+        config dict (see :meth:`SimulatorConfig.cache_key`), versioned by
+        :data:`CELL_FORMAT`.  Two cells share a key exactly when they
+        would run the identical simulation.
+        """
+        payload = json.dumps(
+            {
+                "format": CELL_FORMAT,
+                "workload": self.workload_spec,
+                "config": self.config.to_dict(),
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def derived_seed(self) -> int:
+        """Deterministic per-cell integer for re-seeding worker RNG state.
+
+        Derived from the content hash, so the same cell reseeds the same
+        way in a serial run, any worker of a parallel run, or a resumed
+        sweep — one ingredient of the byte-identical guarantee.
+        """
+        return int(self.cache_key()[:16], 16)

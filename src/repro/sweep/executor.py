@@ -1,0 +1,212 @@
+"""Process-pool sweep executor.
+
+:func:`execute_cells` fans a list of declarative
+:class:`~repro.sweep.cells.SweepCell` jobs out over a
+``ProcessPoolExecutor`` (``jobs > 1``) or runs them in-process
+(``jobs == 1``), consulting a :class:`~repro.sweep.cache.RunCache`
+first when one is active.  Results come back in *input order* regardless
+of completion order, and every worker re-seeds deterministically per
+cell, so a parallel sweep is byte-identical to a serial one at the same
+seed.
+
+Workers receive plain JSON-able job dicts (workload spec + config dict)
+and return :meth:`SimStats.to_json_dict` payloads — no live simulator
+state ever crosses the process boundary, which keeps the transport
+identical to the cache format: a freshly-executed cell and a cache hit
+are indistinguishable by construction.
+
+Experiment code does not pass ``jobs``/``cache`` around; the CLI opens a
+:func:`sweep_context` and every :func:`execute_cells` call inside it
+inherits the settings.  The default context is serial and uncached, so
+library callers (and the test suite) see no behavioural change unless a
+context is opened.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from ..config import SimulatorConfig
+from ..errors import ReproError, SweepError
+from ..stats import FailedRun, SimStats
+from .cache import RunCache
+from .cells import SweepCell
+
+
+@dataclass
+class SweepReport:
+    """Counters of one sweep context: what actually ran vs was reused."""
+
+    #: Simulations executed (serially or in workers) in this context.
+    executed: int = 0
+    #: Cells served from the run cache without executing anything.
+    cached: int = 0
+    #: Executed cells that produced a :class:`FailedRun` row.
+    failed: int = 0
+
+    def summary(self) -> str:
+        return (f"{self.executed} simulation(s) executed, "
+                f"{self.cached} cell(s) from cache, "
+                f"{self.failed} failure(s)")
+
+
+@dataclass
+class _SweepOptions:
+    jobs: int = 1
+    cache: RunCache | None = None
+    report: SweepReport = field(default_factory=SweepReport)
+
+
+_active = _SweepOptions()
+
+
+@contextmanager
+def sweep_context(jobs: int = 1,
+                  cache: RunCache | None = None) -> Iterator[SweepReport]:
+    """Scope within which :func:`execute_cells` parallelizes and caches.
+
+    Yields the context's :class:`SweepReport`; contexts nest, restoring
+    the previous settings on exit.
+    """
+    global _active
+    previous = _active
+    _active = _SweepOptions(jobs=max(1, int(jobs)), cache=cache)
+    try:
+        yield _active.report
+    finally:
+        _active = previous
+
+
+def active_report() -> SweepReport:
+    """The report of the innermost open :func:`sweep_context`."""
+    return _active.report
+
+
+def _default_local_runner(cell: SweepCell) -> SimStats:
+    """In-process execution of one cell (the ``jobs == 1`` path)."""
+    from ..runtime import UvmRuntime
+    from ..workloads.registry import make_workload
+
+    workload = make_workload(**cell.workload_spec)
+    return UvmRuntime(cell.config).run_workload(workload)
+
+
+def _run_cell_job(job: dict) -> tuple[str, dict]:
+    """Worker entry point: rebuild the cell's world, run, return JSON.
+
+    Must stay a module-level function (picklable under every
+    multiprocessing start method).  ``ReproError`` failures come back as
+    data — the parent decides whether to isolate or raise — because
+    library exceptions with required constructor arguments do not
+    survive unpickling.
+    """
+    from ..runtime import UvmRuntime
+    from ..workloads.registry import make_workload
+
+    random.seed(job["seed"])
+    config = SimulatorConfig.from_dict(job["config"])
+    workload = make_workload(**job["workload"])
+    try:
+        stats = UvmRuntime(config).run_workload(workload)
+    except ReproError as exc:
+        failed = FailedRun(job["workload"].get("name", "?"),
+                           type(exc).__name__, str(exc))
+        return "failed", failed.to_json_dict()
+    return "stats", stats.to_json_dict()
+
+
+def execute_cells(
+    cells: Sequence[SweepCell],
+    isolate_failures: bool = False,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    local_runner: Callable[[SweepCell], SimStats] | None = None,
+) -> list[SimStats | FailedRun]:
+    """Run every cell; returns results aligned with the input order.
+
+    ``jobs``/``cache`` default to the enclosing :func:`sweep_context`
+    (serial and uncached when none is open).  ``local_runner`` overrides
+    how a cell executes *in this process* — the experiment layer routes
+    it through ``run_workload_setting`` so failure-injection tests can
+    monkeypatch a single seam.
+
+    With ``isolate_failures=True`` a cell whose run raises
+    :class:`ReproError` yields a :class:`FailedRun` row; without it the
+    serial path re-raises the original exception, while parallel/cached
+    failures surface as :class:`~repro.errors.SweepError`.
+    """
+    cells = list(cells)
+    options = _active
+    if jobs is None:
+        jobs = options.jobs
+    if cache is None:
+        cache = options.cache
+    report = options.report
+    if local_runner is None:
+        local_runner = _default_local_runner
+
+    results: list[SimStats | FailedRun | None] = [None] * len(cells)
+    pending: list[tuple[int, SweepCell, str]] = []
+    for index, cell in enumerate(cells):
+        key = cell.cache_key()
+        if cache is not None:
+            hit = cache.load(key)
+            if hit is not None:
+                results[index] = hit
+                report.cached += 1
+                continue
+        pending.append((index, cell, key))
+
+    if pending and min(jobs, len(pending)) > 1:
+        jobs_payload = [
+            {"workload": cell.workload_spec,
+             "config": cell.config.to_dict(),
+             "seed": cell.derived_seed()}
+            for _, cell, _ in pending
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) \
+                as pool:
+            outcomes = list(pool.map(_run_cell_job, jobs_payload,
+                                     chunksize=1))
+        for (index, cell, key), (kind, payload) in zip(pending, outcomes):
+            if kind == "failed":
+                result: SimStats | FailedRun = \
+                    FailedRun.from_json_dict(payload)
+                report.failed += 1
+            else:
+                result = SimStats.from_json_dict(payload)
+            report.executed += 1
+            if cache is not None:
+                cache.store(key, cell, result)
+            results[index] = result
+    else:
+        for index, cell, key in pending:
+            random.seed(cell.derived_seed())
+            if isolate_failures:
+                try:
+                    result = local_runner(cell)
+                except ReproError as exc:
+                    result = FailedRun(
+                        cell.workload_spec.get("name", "?"),
+                        type(exc).__name__, str(exc),
+                    )
+                    report.failed += 1
+            else:
+                result = local_runner(cell)  # propagates the original
+            report.executed += 1
+            if cache is not None:
+                cache.store(key, cell, result)
+            results[index] = result
+
+    if not isolate_failures:
+        for cell, result in zip(cells, results):
+            if isinstance(result, FailedRun):
+                raise SweepError(
+                    f"sweep cell {cell.workload_spec.get('name', '?')!r} "
+                    f"failed with {result.error_type}: {result.message}"
+                )
+    return results  # type: ignore[return-value]

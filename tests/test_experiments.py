@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ReproError, WorkloadError
 from repro.experiments import (
     COMBINATIONS,
     ExperimentResult,
@@ -63,8 +64,20 @@ class TestCommon:
         table = result.to_table()
         assert "X: desc" in table and "note: n" in table
         assert result.column("b") == [1.0]
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError) as excinfo:
             result.column("missing")
+        assert "'missing'" in str(excinfo.value)
+        assert "'a'" in str(excinfo.value) and "'b'" in str(excinfo.value)
+
+    def test_empty_workload_list_runs_nothing(self):
+        assert run_suite_setting(SCALE, [], prefetcher="tbn",
+                                 eviction="lru4k") == {}
+
+    def test_unknown_workload_name_raises_repro_error(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            run_suite_setting(SCALE, ["hotspot", "nope"],
+                              prefetcher="tbn", eviction="lru4k")
+        assert "nope" in str(excinfo.value)
 
 
 class TestRunners:
