@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the simulation service: boot a server against
+# a fresh cache + journal, submit the same paper-preset cell twice — the
+# first submission must execute a simulation and print stats
+# byte-identical to `repro run --json` under the same seed, the second
+# must be a cache hit — then SIGTERM the server and require a clean
+# drain.  Finishes with the dedicated test module including the
+# serve-marked HTTP checks.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$out_dir"
+}
+trap cleanup EXIT
+
+port=8091
+workload=hotspot
+flags=(--scale 0.12 --preset paper-tbne-110 --seed 0)
+
+echo "== boot: repro serve --port $port =="
+python -m repro serve --port "$port" --jobs 2 \
+    --cache-dir "$out_dir/runcache" --journal-dir "$out_dir/journal" \
+    2> "$out_dir/serve.err" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    if python - "$port" <<'EOF' 2>/dev/null
+import sys
+from repro.serve.client import ServeClient
+ServeClient(port=int(sys.argv[1]), timeout=2).healthz()
+EOF
+    then break; fi
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "FAIL: server died during startup" >&2
+        cat "$out_dir/serve.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+echo
+echo "== local baseline: repro run --json =="
+python -m repro run "$workload" "${flags[@]}" --json \
+    > "$out_dir/run.json"
+
+echo "== repro submit (cold cache) =="
+python -m repro submit "$workload" "${flags[@]}" --port "$port" \
+    > "$out_dir/submit1.json" 2> "$out_dir/submit1.err"
+grep '^\[serve\]' "$out_dir/submit1.err"
+
+echo "== repro submit (identical cell, warm cache) =="
+python -m repro submit "$workload" "${flags[@]}" --port "$port" \
+    > "$out_dir/submit2.json" 2> "$out_dir/submit2.err"
+grep '^\[serve\]' "$out_dir/submit2.err"
+
+echo
+echo "== served stats must be byte-identical to the local run =="
+cmp "$out_dir/submit1.json" "$out_dir/run.json" || {
+    echo "FAIL: served stats differ from repro run --json" >&2
+    exit 1
+}
+cmp "$out_dir/submit2.json" "$out_dir/submit1.json" || {
+    echo "FAIL: repeat submission returned different stats" >&2
+    exit 1
+}
+grep -q 'cache_hit: false' "$out_dir/submit1.err" || {
+    echo "FAIL: first submission did not execute a simulation" >&2
+    exit 1
+}
+grep -q 'cache_hit: true' "$out_dir/submit2.err" || {
+    echo "FAIL: second submission was not served from the cache" >&2
+    exit 1
+}
+echo "parity OK, repeat OK, cache hit OK"
+
+echo
+echo "== SIGTERM must drain cleanly =="
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+    echo "FAIL: server exited nonzero after SIGTERM" >&2
+    cat "$out_dir/serve.err" >&2
+    exit 1
+}
+server_pid=""
+grep -q '^\[serve\] drained' "$out_dir/serve.err" || {
+    echo "FAIL: no drain message in server stderr" >&2
+    cat "$out_dir/serve.err" >&2
+    exit 1
+}
+grep '^\[serve\]' "$out_dir/serve.err"
+
+echo
+echo "== serve test module (incl. HTTP end-to-end) =="
+python -m pytest tests/test_serve.py -q -m ""
+
+echo
+echo "serve smoke OK"

@@ -1,8 +1,19 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+:func:`repro.cli.main` lets :class:`~repro.errors.ReproError` propagate
+(the test suite asserts on the exception types); the terminal entry
+point turns that family into a one-line message and exit code 2 instead
+of a traceback.
+"""
 
 import sys
 
 from .cli import main
+from .errors import ReproError
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        sys.exit(2)

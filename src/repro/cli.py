@@ -25,20 +25,30 @@ the slowest fault batches (see docs/OBSERVABILITY.md).
 ``experiment`` and ``sweep`` accept ``--jobs N`` to fan simulations out
 over a process pool and consult an on-disk run cache under
 ``results/.runcache/`` so repeated invocations re-execute nothing
-(``--no-cache`` bypasses it, ``--cache-dir`` relocates it; see
+(``--no-cache`` bypasses it, ``--cache-dir`` relocates it, the
+``REPRO_CACHE_DIR`` environment variable changes the default; see
 docs/SWEEP.md).  The cache/pool summary goes to stderr so tables on
 stdout stay byte-identical to serial, uncached runs.
+
+``serve`` boots the resident simulation service (JSON HTTP API, bounded
+job queue with 429 backpressure, shared run cache, SIGTERM drain with a
+queued-job journal); ``submit`` sends one cell to a server and waits for
+the result; ``jobs`` lists/polls/cancels server jobs.  See
+docs/SERVICE.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from . import __version__
 from .analysis.charts import grouped_bars
 from .analysis.report import format_table
 from .config import SimulatorConfig, oversubscribed
+from .errors import ConfigurationError
 from .core.evict import EVICTION_REGISTRY
 from .core.prefetch import PREFETCHER_REGISTRY
 from .experiments import (
@@ -64,11 +74,13 @@ from .experiments import (
 )
 from .presets import PRESETS, preset_config
 from .runtime import UvmRuntime
+from .serve.client import DEFAULT_PORT as SERVE_DEFAULT_PORT
 from .sweep import (
     DEFAULT_CACHE_DIR,
     RunCache,
     SweepCell,
     execute_cells,
+    resolve_cache_dir,
     sweep_context,
 )
 from .workloads.registry import SUITE_ORDER, WORKLOAD_REGISTRY, \
@@ -114,19 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="UVM prefetcher/eviction interplay simulator "
                     "(ISCA 2019 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_flags(p) -> None:
+        """The run-cache knobs shared by experiment/sweep/serve."""
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not consult or populate the on-disk run "
+                            "cache")
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="run-cache directory (default: "
+                            "$REPRO_CACHE_DIR or "
+                            f"{DEFAULT_CACHE_DIR})")
 
     def add_sweep_flags(p) -> None:
         """The process-pool/run-cache knobs shared by experiment/sweep."""
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the simulation fan-out "
                             "(default: 1, in-process)")
-        p.add_argument("--no-cache", action="store_true",
-                       help="do not consult or populate the on-disk run "
-                            "cache")
-        p.add_argument("--cache-dir", type=Path, default=None,
-                       help="run-cache directory (default: "
-                            f"{DEFAULT_CACHE_DIR})")
+        add_cache_flags(p)
 
     sub.add_parser("list", help="list workloads, policies, experiments")
 
@@ -159,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection profile: a named severity "
                             "(light|moderate|heavy), a key=value[,...] "
                             "list, or a JSON file of FaultProfile fields")
+    run_p.add_argument("--json", action="store_true",
+                       help="print the run's SimStats as canonical JSON "
+                            "instead of the counter table (comparable "
+                            "byte-for-byte with `repro submit` output)")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -244,6 +267,78 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--top", type=int, default=5,
                           help="slowest fault batches to list")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the resident simulation service (JSON HTTP API; see "
+             "docs/SERVICE.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=SERVE_DEFAULT_PORT,
+                         help="listen port (0 picks a free one; default: "
+                              f"{SERVE_DEFAULT_PORT})")
+    serve_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker threads executing jobs "
+                              "(default: 2)")
+    serve_p.add_argument("--queue-limit", type=int, default=64,
+                         metavar="N",
+                         help="max queued jobs before submissions get "
+                              "429 (default: 64)")
+    serve_p.add_argument("--journal-dir", type=Path, default=None,
+                         help="queued-job journal directory (default: "
+                              "results/.servejournal)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    add_cache_flags(serve_p)
+
+    def add_remote_flags(p) -> None:
+        """Where submit/jobs find the server."""
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=SERVE_DEFAULT_PORT)
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="seconds to wait for the result "
+                            "(default: 300)")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit one workload cell to a running server and print "
+             "the resulting SimStats JSON",
+    )
+    submit_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    submit_p.add_argument("--scale", type=float, default=0.5)
+    submit_p.add_argument("--prefetcher", default="tbn",
+                          choices=sorted(PREFETCHER_REGISTRY))
+    submit_p.add_argument("--eviction", default="lru4k",
+                          choices=sorted(EVICTION_REGISTRY))
+    submit_p.add_argument("--oversubscription", type=float, default=None,
+                          metavar="PERCENT",
+                          help="working set as %% of device memory")
+    submit_p.add_argument("--keep-prefetching", action="store_true",
+                          help="do not disable the prefetcher under "
+                               "over-subscription")
+    submit_p.add_argument("--reservation", type=float, default=0.0,
+                          help="LRU-head reservation fraction")
+    submit_p.add_argument("--buffer", type=float, default=0.0,
+                          help="free-page buffer fraction")
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--preset", default=None,
+                          choices=sorted(PRESETS),
+                          help="named paper setting; overrides the "
+                               "policy and memory flags")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return without "
+                               "waiting for the result")
+    add_remote_flags(submit_p)
+
+    jobs_p = sub.add_parser(
+        "jobs",
+        help="list jobs on a running server, show one, or cancel one",
+    )
+    jobs_p.add_argument("job_id", nargs="?", default=None,
+                        help="job id to inspect (omit to list all)")
+    jobs_p.add_argument("--cancel", action="store_true",
+                        help="cancel the given queued job")
+    add_remote_flags(jobs_p)
+
     val_p = sub.add_parser("validate",
                            help="check the paper's claims against "
                                 "measured results")
@@ -273,23 +368,23 @@ def _print_resilience(stats) -> None:
     print(format_table(["resilience counter", "value"], rows))
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    workload = make_workload(args.workload, scale=args.scale)
+def _flags_config(args: argparse.Namespace, workload,
+                  file_fields: dict | None = None) -> SimulatorConfig:
+    """Build the config `run` and `submit` share from the policy flags.
+
+    One recipe for both commands, so a cell submitted to a server hashes
+    identically to the same cell run in-process — the cache-hit and
+    coalescing guarantees depend on it.
+    """
     profile = None
-    if args.fault_profile is not None:
+    if getattr(args, "fault_profile", None) is not None:
         from .faultinject.profile import load_profile
         profile = load_profile(args.fault_profile, seed=args.seed)
     if args.preset is not None:
         config = preset_config(args.preset, workload)
         if profile is not None:
             config = config.replace(fault_profile=profile)
-        stats = UvmRuntime(config).run_workload(workload)
-        print(f"{workload.name} under preset {args.preset!r}")
-        rows = [[key, value] for key, value in stats.as_dict().items()]
-        print(format_table(["counter", "value"], rows))
-        if profile is not None:
-            _print_resilience(stats)
-        return 0
+        return config
     common = dict(
         prefetcher=args.prefetcher,
         eviction=args.eviction,
@@ -299,22 +394,39 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_profile=profile,
     )
-    if args.config_file is not None:
-        import json
-        file_fields = json.loads(args.config_file.read_text())
-        if not isinstance(file_fields, dict):
-            raise SystemExit("--config-file must contain a JSON object")
+    if file_fields is not None:
         # The file is the explicit artifact: its values win.
         common.update(file_fields)
     if args.oversubscription is None:
-        config = SimulatorConfig(**common)
-    else:
-        config = oversubscribed(workload.footprint_bytes,
-                                args.oversubscription, **common)
+        return SimulatorConfig(**common)
+    return oversubscribed(workload.footprint_bytes,
+                          args.oversubscription, **common)
+
+
+def _stats_json(stats_dict: dict) -> str:
+    """Canonical SimStats JSON shared by `run --json` and `submit`."""
+    return json.dumps(stats_dict, sort_keys=True, indent=2)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, scale=args.scale)
+    file_fields = None
+    if args.config_file is not None:
+        file_fields = json.loads(args.config_file.read_text())
+        if not isinstance(file_fields, dict):
+            raise SystemExit("--config-file must contain a JSON object")
+    config = _flags_config(args, workload, file_fields)
     stats = UvmRuntime(config).run_workload(workload)
-    print(f"{workload.name}: {workload.footprint_bytes / 2**20:.1f} MB "
-          f"working set, prefetcher={config.prefetcher}, "
-          f"eviction={config.eviction}")
+    if args.json:
+        print(_stats_json(stats.to_json_dict()))
+        return 0
+    if args.preset is not None:
+        print(f"{workload.name} under preset {args.preset!r}")
+    else:
+        print(f"{workload.name}: "
+              f"{workload.footprint_bytes / 2**20:.1f} MB "
+              f"working set, prefetcher={config.prefetcher}, "
+              f"eviction={config.eviction}")
     rows = [[key, value] for key, value in stats.as_dict().items()]
     print(format_table(["counter", "value"], rows))
     if config.fault_profile is not None:
@@ -386,14 +498,27 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def _run_cache(args: argparse.Namespace) -> RunCache | None:
-    """The run cache the experiment/sweep flags select (None = off)."""
+    """The run cache the experiment/sweep/serve flags select (None = off).
+
+    ``--cache-dir`` wins, then ``$REPRO_CACHE_DIR``, then the default —
+    so a server and ad-hoc CLI runs share one cache without repeating
+    the flag.
+    """
     if args.no_cache:
         return None
-    return RunCache(args.cache_dir if args.cache_dir is not None
-                    else DEFAULT_CACHE_DIR)
+    return RunCache(resolve_cache_dir(args.cache_dir))
+
+
+def _check_jobs(jobs: int) -> None:
+    """Reject nonsensical worker counts before any pool sees them."""
+    if jobs < 1:
+        raise ConfigurationError(
+            f"--jobs must be a positive integer, got {jobs}"
+        )
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    _check_jobs(args.jobs)
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     with sweep_context(jobs=args.jobs, cache=_run_cache(args)) as report:
         for name in names:
@@ -414,6 +539,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _check_jobs(args.jobs)
     workload = make_workload(args.workload, scale=args.scale)
     cells = [
         SweepCell(
@@ -483,6 +609,87 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DEFAULT_JOURNAL_DIR, JobJournal, run_server
+
+    _check_jobs(args.jobs)
+    if args.queue_limit < 1:
+        raise ConfigurationError(
+            f"--queue-limit must be a positive integer, got "
+            f"{args.queue_limit}"
+        )
+    journal_dir = args.journal_dir if args.journal_dir is not None \
+        else DEFAULT_JOURNAL_DIR
+    return run_server(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        cache=_run_cache(args),
+        journal=JobJournal(journal_dir),
+        verbose=args.verbose,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+    from .stats import FailedRun
+
+    workload = make_workload(args.workload, scale=args.scale)
+    config = _flags_config(args, workload)
+    client = ServeClient(host=args.host, port=args.port)
+    spec = {"name": args.workload, "scale": args.scale}
+    job = client.submit(spec, config=config.to_dict())
+    coalesced = " (coalesced into an active job)" if job.get("coalesced") \
+        else ""
+    print(f"[serve] job {job['id']} {job['state']}{coalesced}",
+          file=sys.stderr)
+    if args.no_wait:
+        print(job["id"])
+        return 0
+    outcome = client.wait(job["id"], timeout=args.timeout)
+    print(f"[serve] job {job['id']} {outcome['state']}, "
+          f"cache_hit: {'true' if outcome['cache_hit'] else 'false'}",
+          file=sys.stderr)
+    result = ServeClient.decode_result(outcome)
+    if result is None or isinstance(result, FailedRun):
+        print(json.dumps(outcome["result"], sort_keys=True, indent=2))
+        return 1
+    print(_stats_json(result.to_json_dict()))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    if args.cancel:
+        if args.job_id is None:
+            raise SystemExit("jobs --cancel needs a job id")
+        status = client.cancel(args.job_id)
+        print(f"{status['id']}: {status['state']}")
+        return 0
+    if args.job_id is not None:
+        print(json.dumps(client.status(args.job_id), sort_keys=True,
+                         indent=2))
+        return 0
+    rows = [
+        [job["id"], job["state"], job["workload"],
+         "-" if job["cache_hit"] is None
+         else ("hit" if job["cache_hit"] else "miss")]
+        for job in client.jobs()
+    ]
+    health = client.healthz()
+    print(format_table(
+        ["job", "state", "workload", "cache"], rows,
+        title=f"{len(rows)} job(s) on http://{args.host}:{args.port} "
+              f"(status {health['status']}, "
+              f"{health['queue_depth']} queued, "
+              f"{health['running_jobs']} running)",
+    ))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     columns = {}
     for preset_name in (args.preset_a, args.preset_b):
@@ -516,6 +723,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sweep(args)
     if args.command == "faults":
         return cmd_faults(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "jobs":
+        return cmd_jobs(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "report":

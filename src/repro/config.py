@@ -227,6 +227,13 @@ class SimulatorConfig:
             )
         if not 0.0 < self.tbn_threshold < 1.0:
             raise ConfigurationError("tbn_threshold must be in (0, 1)")
+        # ``random.Random`` silently accepts strings/floats, which would
+        # make a mistyped seed change results instead of erroring — and
+        # job specs arrive as untyped JSON (repro.serve), so be strict.
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"seed must be an integer, got {self.seed!r}"
+            )
         if self.fault_profile is not None:
             from .faultinject.profile import FaultProfile
             if isinstance(self.fault_profile, dict):

@@ -51,6 +51,62 @@ class SweepError(ReproError):
     """A sweep cell failed (or its cached result could not be used)."""
 
 
+class ServeError(ReproError):
+    """Base class for the simulation service (:mod:`repro.serve`)."""
+
+
+class InvalidJobError(ServeError):
+    """A submitted job specification could not be validated."""
+
+
+class JobNotFoundError(ServeError):
+    """No job with the requested id exists on this server."""
+
+
+class JobStateError(ServeError):
+    """A job-state transition that the state machine forbids.
+
+    Raised e.g. when cancelling a job that is already running or
+    terminal, or when fetching the result of a job that has not
+    finished.
+    """
+
+
+class QueueFullError(ServeError):
+    """The service's bounded job queue rejected a submission.
+
+    Maps to HTTP 429 with a ``Retry-After`` header; ``retry_after``
+    is the suggested wait in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServeClientError(ServeError):
+    """An HTTP request to a simulation server failed.
+
+    Carries the HTTP ``status`` (0 when the connection itself failed)
+    and the decoded error ``payload`` when the server sent one.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: dict | None = None) -> None:
+        self.status = status
+        self.payload = payload or {}
+        super().__init__(message)
+
+
+class BackpressureError(ServeClientError):
+    """The server answered 429: queue full, retry later."""
+
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 payload: dict | None = None) -> None:
+        super().__init__(message, status=429, payload=payload)
+        self.retry_after = retry_after
+
+
 class RetryExhaustedError(ReproError):
     """A migration kept failing past the profile's retry budget."""
 

@@ -159,6 +159,27 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (0..1) from the bucket counts.
+
+        Returns the upper bound of the bucket containing the rank,
+        clamped to the observed min/max so tails cannot exceed real
+        samples; the overflow bucket reports the observed max.  0.0
+        when empty.  Exact enough for service-latency p50/p95 style
+        reporting, which is its purpose.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                return min(max(bound, self.min), self.max)
+        return self.max
+
     def bucket_dict(self) -> dict:
         """``{"<=bound": count, ..., ">bound": overflow}``."""
         out = {}

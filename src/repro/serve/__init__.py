@@ -1,0 +1,45 @@
+"""Async simulation service: job queue, backpressure, cache-aware reuse.
+
+``repro serve`` turns the one-shot simulator into a resident daemon:
+clients POST simulation jobs to a JSON HTTP API, a bounded worker pool
+executes them through the sweep layer's single-cell seam (sharing the
+content-addressed run cache, so identical submissions coalesce and
+repeats return without simulating), a full queue pushes back with
+HTTP 429, and SIGTERM drains gracefully — running jobs finish, queued
+jobs persist in a journal and resume on restart.  See docs/SERVICE.md.
+"""
+
+from .client import DEFAULT_PORT, ServeClient
+from .journal import DEFAULT_JOURNAL_DIR, JOURNAL_FORMAT, JobJournal
+from .queue import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from .server import ServiceServer, SimulationService, run_server
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "DEFAULT_JOURNAL_DIR",
+    "DEFAULT_PORT",
+    "DONE",
+    "FAILED",
+    "JOURNAL_FORMAT",
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "QUEUED",
+    "RUNNING",
+    "ServeClient",
+    "ServiceServer",
+    "SimulationService",
+    "TERMINAL_STATES",
+    "run_server",
+]

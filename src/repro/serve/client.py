@@ -1,0 +1,144 @@
+"""HTTP client for a running ``repro serve`` daemon.
+
+:class:`ServeClient` is the programmatic face of the service — the
+``repro submit`` / ``repro jobs`` CLI commands are thin wrappers over
+it, and experiment code can point at a remote server instead of
+executing in-process::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8077)
+    job = client.submit({"name": "hotspot", "scale": 0.5},
+                        config=config.to_dict())
+    outcome = client.wait(job["id"])
+    stats_dict = outcome["result"]["stats"]   # SimStats.to_json_dict()
+
+Transport errors and non-2xx answers raise
+:class:`~repro.errors.ServeClientError`; a 429 raises the more specific
+:class:`~repro.errors.BackpressureError` carrying the server's
+``Retry-After`` hint so callers can implement polite retry loops.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ..errors import BackpressureError, ServeClientError
+from ..stats import FailedRun, SimStats
+
+#: Default port of ``repro serve`` (no meaning beyond "unassigned").
+DEFAULT_PORT = 8077
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client; one connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # --- transport ---------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        payload = None if body is None \
+            else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload \
+            else {}
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServeClientError(
+                    f"cannot reach http://{self.host}:{self.port}: {exc}"
+                ) from None
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"raw": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                retry_after = float(
+                    response.getheader("Retry-After")
+                    or decoded.get("retry_after") or 1.0)
+                raise BackpressureError(
+                    self._error_message(response.status, decoded),
+                    retry_after=retry_after, payload=decoded)
+            if response.status >= 400:
+                raise ServeClientError(
+                    self._error_message(response.status, decoded),
+                    status=response.status, payload=decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _error_message(status: int, payload: dict) -> str:
+        error = payload.get("error") or {}
+        detail = error.get("message") or payload.get("raw") or "?"
+        kind = error.get("type", "HTTPError")
+        return f"server answered {status} ({kind}): {detail}"
+
+    # --- API surface -------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, workload: str | dict, config: dict | None = None,
+               seed: int | None = None) -> dict:
+        """Submit one job; returns its status dict (202 body)."""
+        spec: dict = {"workload": workload}
+        if config is not None:
+            spec["config"] = config
+        if seed is not None:
+            spec["seed"] = seed
+        return self._request("POST", "/v1/jobs", body=spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The terminal result payload (409 -> error until terminal)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the result payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"timed out after {timeout:.1f}s waiting for job "
+                    f"{job_id} (state {status['state']!r})"
+                )
+            time.sleep(poll_interval)
+
+    # --- conveniences ------------------------------------------------------
+    @staticmethod
+    def decode_result(outcome: dict) -> SimStats | FailedRun | None:
+        """Rebuild the typed result from a :meth:`wait`/:meth:`result`
+        payload (``None`` for a cancelled job)."""
+        result = outcome["result"]
+        if result["kind"] == "stats":
+            return SimStats.from_json_dict(result["stats"])
+        if result["kind"] == "failed":
+            return FailedRun.from_json_dict(result["failed"])
+        return None

@@ -1,0 +1,93 @@
+"""Durable journal of not-yet-finished jobs.
+
+The server journals every admitted job *before* acknowledging it and
+forgets it on any terminal transition, so the journal directory is at
+all times exactly the set of jobs the server still owes an answer for.
+A drain (SIGTERM) therefore needs no extra persistence step: running
+jobs finish and are forgotten, queued jobs simply stay on disk, and the
+next server generation replays them in submission order under their
+original ids — clients polling across the restart never notice.
+
+Layout mirrors the run cache: one self-describing JSON file per job
+under ``results/.servejournal/``, atomic writes via rename, and
+anything unreadable or version-mismatched is skipped with a warning
+rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from ..config import SimulatorConfig
+from ..sweep import SweepCell
+from .queue import Job
+
+#: Default journal root, next to the run cache.
+DEFAULT_JOURNAL_DIR = Path("results") / ".servejournal"
+
+#: Version of the journal-entry schema.
+JOURNAL_FORMAT = 1
+
+
+class JobJournal:
+    """Persist queued jobs; replay the survivors on startup."""
+
+    def __init__(self, root: str | Path = DEFAULT_JOURNAL_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def record(self, job: Job) -> None:
+        """Write one job's replayable identity atomically."""
+        document = {
+            "format": JOURNAL_FORMAT,
+            "id": job.id,
+            "seq": job.seq,
+            "workload": job.cell.workload_spec,
+            "config": job.cell.config.to_dict(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(job.id)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True))
+        tmp.replace(path)
+
+    def forget(self, job_id: str) -> None:
+        """Remove a terminal job's entry (idempotent)."""
+        try:
+            self.path_for(job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def load(self) -> list[tuple[str, SweepCell]]:
+        """Replayable ``(job_id, cell)`` pairs in submission order.
+
+        Corrupt or stale-format entries are reported on stderr and
+        skipped — a bad journal file must not stop the server from
+        booting (it can always be re-submitted).
+        """
+        entries: list[tuple[int, str, SweepCell]] = []
+        if not self.root.is_dir():
+            return []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+                if data.get("format") != JOURNAL_FORMAT:
+                    raise ValueError(
+                        f"journal format {data.get('format')!r} != "
+                        f"{JOURNAL_FORMAT}"
+                    )
+                cell = SweepCell(
+                    workload_spec=data["workload"],
+                    config=SimulatorConfig.from_dict(data["config"]),
+                )
+                entries.append((int(data["seq"]), str(data["id"]), cell))
+            except Exception as exc:  # noqa: BLE001 — skip, never crash
+                print(f"[serve] skipping unreadable journal entry "
+                      f"{path.name}: {exc}", file=sys.stderr)
+        entries.sort(key=lambda item: (item[0], item[1]))
+        return [(job_id, cell) for _, job_id, cell in entries]

@@ -1,0 +1,285 @@
+"""Job state machine and the bounded, coalescing job queue.
+
+A :class:`Job` wraps one :class:`~repro.sweep.cells.SweepCell` with a
+request lifecycle::
+
+    queued --> running --> done | failed
+       \\--> cancelled
+
+Transitions outside those edges raise
+:class:`~repro.errors.JobStateError` — a running job cannot be
+cancelled (the simulator has no preemption point) and a terminal job
+never changes again.
+
+The :class:`JobQueue` is the admission-control heart of the service:
+
+* **bounded** — at most ``capacity`` jobs may wait; one more submission
+  raises :class:`~repro.errors.QueueFullError`, which the HTTP layer
+  maps to 429 + ``Retry-After`` (explicit backpressure instead of an
+  unbounded memory balloon).
+* **coalescing** — two submissions whose cells share a content hash
+  (:meth:`SweepCell.cache_key`) are *the same simulation*; the second
+  returns the first's live job instead of enqueueing a duplicate, so a
+  thundering herd of identical what-if cells costs one execution.
+* **thread-safe** — the HTTP handler threads submit/cancel while worker
+  threads :meth:`take`; one condition variable serializes every state
+  change.
+
+Everything here is in-memory policy; persistence lives in
+:mod:`repro.serve.journal` and execution in :mod:`repro.serve.server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..errors import JobNotFoundError, JobStateError, QueueFullError
+from ..stats import FailedRun, SimStats
+from ..sweep import SweepCell
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Legal state-machine edges; anything else is a JobStateError.
+_TRANSITIONS = {
+    QUEUED: {RUNNING, CANCELLED},
+    RUNNING: {DONE, FAILED},
+    DONE: set(),
+    FAILED: set(),
+    CANCELLED: set(),
+}
+
+#: States in which a job still owns (or will own) an execution slot.
+ACTIVE_STATES = (QUEUED, RUNNING)
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted simulation request and its lifecycle record."""
+
+    id: str
+    cell: SweepCell
+    #: Monotonic submission sequence number (journal replay order).
+    seq: int
+    state: str = QUEUED
+    #: Set once terminal: the run's stats, or the failure row.
+    result: SimStats | FailedRun | None = None
+    #: Whether the result came from the run cache without executing.
+    cache_hit: bool | None = None
+    #: ``time.monotonic()`` timestamps for service-latency metrics.
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Signalled on any terminal transition; waiters poll this, never
+    #: the wall clock.
+    _terminal: threading.Event = field(default_factory=threading.Event,
+                                       repr=False)
+
+    @property
+    def key(self) -> str:
+        """Content hash identifying the simulation (coalescing key)."""
+        return self.cell.cache_key()
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def advance(self, state: str) -> None:
+        """Move to ``state`` or raise :class:`JobStateError`.
+
+        Callers must hold the owning queue's lock; the method only
+        enforces the edge set and stamps timestamps.
+        """
+        if state not in _TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.id} cannot go {self.state!r} -> {state!r}"
+            )
+        self.state = state
+        if state == RUNNING:
+            self.started_at = time.monotonic()
+        if state in TERMINAL_STATES:
+            self.finished_at = time.monotonic()
+            self._terminal.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True if it is."""
+        return self._terminal.wait(timeout)
+
+    def service_latency_ns(self) -> float:
+        """Submit-to-terminal wall latency in ns (0 until terminal)."""
+        if self.finished_at is None:
+            return 0.0
+        return (self.finished_at - self.submitted_at) * 1e9
+
+    def status_dict(self) -> dict:
+        """JSON-able status summary (the ``GET /v1/jobs/<id>`` body)."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "workload": self.cell.workload_spec.get("name", "?"),
+            "workload_spec": self.cell.workload_spec,
+            "seq": self.seq,
+            "key": self.key,
+            "cache_hit": self.cache_hit,
+        }
+        if isinstance(self.result, FailedRun):
+            out["error"] = {"type": self.result.error_type,
+                            "message": self.result.message}
+        return out
+
+
+class JobQueue:
+    """Bounded FIFO of jobs with content-hash coalescing.
+
+    ``capacity`` bounds *waiting* jobs only: running jobs have already
+    been admitted, and terminal jobs are kept (up to ``history``) for
+    result polling without holding queue slots.
+    """
+
+    def __init__(self, capacity: int = 64, history: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.history = history
+        self._cond = threading.Condition()
+        self._waiting: deque[Job] = deque()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        #: cell key -> active (queued/running) job, the coalescing map.
+        self._active_by_key: dict[str, Job] = {}
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # --- submission --------------------------------------------------------
+    def submit(self, cell: SweepCell,
+               job_id: str | None = None) -> tuple[Job, bool]:
+        """Admit one cell; returns ``(job, coalesced)``.
+
+        An identical active cell coalesces (``coalesced=True``, the
+        existing job comes back); a full queue raises
+        :class:`QueueFullError`; a closed (draining) queue raises
+        :class:`JobStateError`.  ``job_id`` pins the id during journal
+        replay so clients can keep polling across a restart.
+        """
+        with self._cond:
+            if self._closed:
+                raise JobStateError("server is draining; not accepting "
+                                    "new jobs")
+            existing = self._active_by_key.get(cell.cache_key())
+            if existing is not None:
+                return existing, True
+            if len(self._waiting) >= self.capacity:
+                raise QueueFullError(
+                    f"job queue is full ({self.capacity} waiting)",
+                    retry_after=1.0,
+                )
+            seq = next(self._seq)
+            if job_id is None:
+                job_id = f"j{seq:06d}-{cell.cache_key()[:12]}"
+            job = Job(id=job_id, cell=cell, seq=seq)
+            self._waiting.append(job)
+            self._jobs[job.id] = job
+            self._active_by_key[job.key] = job
+            self._prune_history()
+            self._cond.notify()
+            return job, False
+
+    def _prune_history(self) -> None:
+        """Drop the oldest *terminal* jobs past the history bound."""
+        excess = len(self._jobs) - self.history
+        if excess <= 0:
+            return
+        for job_id in [job_id for job_id, job in self._jobs.items()
+                       if job.is_terminal][:excess]:
+            del self._jobs[job_id]
+
+    # --- worker side -------------------------------------------------------
+    def take(self, timeout: float | None = None) -> Job | None:
+        """Pop the oldest queued job and mark it running.
+
+        Blocks until a job is available; returns ``None`` when the queue
+        is closed (drain) or the timeout expires.  After close, queued
+        jobs are deliberately *not* handed out — they stay journaled for
+        the next server generation.
+        """
+        with self._cond:
+            while not self._waiting and not self._closed:
+                if not self._cond.wait(timeout):
+                    return None
+            if self._closed:
+                return None
+            job = self._waiting.popleft()
+            job.advance(RUNNING)
+            return job
+
+    def complete(self, job: Job, result: SimStats | FailedRun,
+                 cache_hit: bool) -> None:
+        """Record a running job's outcome (``done`` or ``failed``)."""
+        with self._cond:
+            job.result = result
+            job.cache_hit = cache_hit
+            job.advance(FAILED if isinstance(result, FailedRun) else DONE)
+            self._active_by_key.pop(job.key, None)
+            self._cond.notify_all()
+
+    # --- client side -------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._cond:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a *queued* job; running/terminal jobs refuse."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job: {job_id}")
+            job.advance(CANCELLED)  # raises JobStateError unless queued
+            self._waiting.remove(job)
+            self._active_by_key.pop(job.key, None)
+            return job
+
+    def jobs(self) -> list[Job]:
+        """Every known job, oldest first."""
+        with self._cond:
+            return list(self._jobs.values())
+
+    def pending(self) -> list[Job]:
+        """Jobs still waiting for a worker, oldest first."""
+        with self._cond:
+            return list(self._waiting)
+
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet running) jobs."""
+        with self._cond:
+            return len(self._waiting)
+
+    @property
+    def running(self) -> int:
+        with self._cond:
+            return sum(1 for job in self._jobs.values()
+                       if job.state == RUNNING)
+
+    # --- shutdown ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop admissions and hand-outs; wakes every blocked worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed

@@ -1,0 +1,322 @@
+"""The long-running simulation service and its HTTP daemon.
+
+:class:`SimulationService` owns the whole job lifecycle:
+
+* admission through the bounded, coalescing
+  :class:`~repro.serve.queue.JobQueue` (full queue -> 429 upstream),
+* a pool of worker *threads*, each running one cell at a time through
+  the sweep layer's single-cell seam
+  (:func:`repro.sweep.execute_cell`) — so the service shares the
+  content-addressed run cache with every CLI invocation, identical
+  submissions coalesce, and cache hits complete without simulating,
+* metrics through a :class:`~repro.obs.metrics.MetricsRegistry`
+  (queue depth, running jobs, cache hit/miss, jobs served, p50/p95
+  service latency) exported verbatim at ``GET /v1/metrics``,
+* a write-ahead :class:`~repro.serve.journal.JobJournal` so queued work
+  survives a restart,
+* graceful drain: :meth:`drain` stops admissions, lets running jobs
+  finish, and leaves queued jobs journaled for the next generation.
+
+Threads (not processes) are the right pool here: a resident server
+amortizes module import and cache warmth, each job is a single
+in-process simulation exactly like the CLI's serial path (determinism
+is per-cell reseeding, already guaranteed by ``execute_cell``), and the
+GIL cost is acceptable because the paper-scale cells are seconds long
+and the API work is IO.  ``repro serve`` composes the service with
+:class:`ThreadingHTTPServer` and SIGTERM/SIGINT handlers.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from http.server import ThreadingHTTPServer
+
+from .. import __version__
+from ..errors import QueueFullError, ServeError
+from ..obs.metrics import MetricsRegistry
+from ..stats import FailedRun
+from ..sweep import RunCache, SweepCell, execute_cell
+from .api import make_handler
+from .journal import JobJournal
+from .queue import Job, JobQueue
+
+
+class SimulationService:
+    """Job admission, execution, metrics, and drain — no HTTP in here.
+
+    ``runner`` is the execution seam: ``cell -> (result, cache_hit)``.
+    The default is :func:`repro.sweep.execute_cell` bound to ``cache``;
+    tests inject gated runners to hold jobs in flight deterministically.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        queue_limit: int = 64,
+        cache: RunCache | None = None,
+        journal: JobJournal | None = None,
+        runner=None,
+        verbose: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ServeError(f"worker count must be >= 1, got {jobs}")
+        self.cache = cache
+        self.journal = journal
+        self.verbose = verbose
+        self.queue = JobQueue(capacity=queue_limit)
+        self._runner = runner or (
+            lambda cell: execute_cell(cell, cache=self.cache))
+        self._workers = [
+            threading.Thread(target=self._work, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(jobs)
+        ]
+        self._started = False
+        self._draining = threading.Event()
+        self._idle = threading.Semaphore(0)
+        self._drained = False
+
+        registry = MetricsRegistry()
+        self.registry = registry
+        self._m_submitted = registry.counter(
+            "serve.jobs_submitted", "jobs admitted to the queue")
+        self._m_coalesced = registry.counter(
+            "serve.jobs_coalesced",
+            "submissions answered by an already-active identical job")
+        self._m_resumed = registry.counter(
+            "serve.jobs_resumed", "journaled jobs replayed at startup")
+        self._m_done = registry.counter(
+            "serve.jobs_done", "jobs finished with stats")
+        self._m_failed = registry.counter(
+            "serve.jobs_failed", "jobs finished with a FailedRun")
+        self._m_cancelled = registry.counter(
+            "serve.jobs_cancelled", "queued jobs cancelled by clients")
+        self._m_rejected = registry.counter(
+            "serve.jobs_rejected_backpressure",
+            "submissions refused with 429 (queue full)")
+        self._m_cache_hits = registry.counter(
+            "serve.cache_hits", "jobs served from the run cache")
+        self._m_cache_misses = registry.counter(
+            "serve.cache_misses", "jobs that executed a simulation")
+        self._g_depth = registry.gauge(
+            "serve.queue_depth", "jobs waiting for a worker")
+        self._g_running = registry.gauge(
+            "serve.running_jobs", "jobs currently executing")
+        self._h_latency = registry.histogram(
+            "serve.service_latency_ns",
+            help="submit-to-terminal wall latency per job")
+
+    # --- lifecycle ---------------------------------------------------------
+    def start(self) -> int:
+        """Replay the journal and start the workers; returns the number
+        of resumed jobs."""
+        resumed = 0
+        if self.journal is not None:
+            for job_id, cell in self.journal.load():
+                job, coalesced = self.queue.submit(cell, job_id=job_id)
+                if not coalesced:
+                    resumed += 1
+            self._m_resumed.inc(resumed)
+        self._sample_gauges()
+        for worker in self._workers:
+            worker.start()
+        self._started = True
+        return resumed
+
+    def _work(self) -> None:
+        while True:
+            job = self.queue.take()
+            if job is None:
+                self._idle.release()
+                return
+            self._sample_gauges()
+            try:
+                result, cache_hit = self._runner(job.cell)
+            except Exception as exc:  # noqa: BLE001 — keep serving
+                result = FailedRun(
+                    job.cell.workload_spec.get("name", "?"),
+                    type(exc).__name__, str(exc))
+                cache_hit = False
+            # Forget *before* publishing the terminal state, so "job is
+            # terminal" implies "journal entry gone" for every observer.
+            # A crash inside this window loses only the unpublished
+            # result; the client's resubmission becomes a cache hit.
+            if self.journal is not None:
+                self.journal.forget(job.id)
+            self.queue.complete(job, result, cache_hit)
+            if isinstance(result, FailedRun):
+                self._m_failed.inc()
+            else:
+                self._m_done.inc()
+            if cache_hit:
+                self._m_cache_hits.inc()
+            else:
+                self._m_cache_misses.inc()
+            self._h_latency.observe(job.service_latency_ns())
+            self._sample_gauges()
+
+    # --- client operations --------------------------------------------------
+    def submit(self, cell: SweepCell) -> tuple[Job, bool]:
+        """Admit one validated cell; returns ``(job, coalesced)``.
+
+        Journals before acknowledging (write-ahead), so an accepted job
+        survives a crash between the 202 and its execution.
+        """
+        try:
+            job, coalesced = self.queue.submit(cell)
+        except QueueFullError:
+            self._m_rejected.inc()
+            raise
+        if coalesced:
+            self._m_coalesced.inc()
+        else:
+            self._m_submitted.inc()
+            if self.journal is not None:
+                self.journal.record(job)
+        self._sample_gauges()
+        return job, coalesced
+
+    def cancel(self, job_id: str) -> Job:
+        job = self.queue.cancel(job_id)
+        self._m_cancelled.inc()
+        self._h_latency.observe(job.service_latency_ns())
+        if self.journal is not None:
+            self.journal.forget(job.id)
+        self._sample_gauges()
+        return job
+
+    # --- reporting ----------------------------------------------------------
+    def _sample_gauges(self) -> None:
+        self._g_depth.set(self.queue.depth)
+        self._g_running.set(self.queue.running)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "queue_depth": self.queue.depth,
+            "running_jobs": self.queue.running,
+            "queue_limit": self.queue.capacity,
+            "workers": len(self._workers),
+            "cache": str(self.cache.root) if self.cache else None,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        self._sample_gauges()
+        snapshot = self.registry.snapshot()
+        snapshot["serve.service_latency_ns_p50"] = \
+            self._h_latency.quantile(0.50)
+        snapshot["serve.service_latency_ns_p95"] = \
+            self._h_latency.quantile(0.95)
+        return snapshot
+
+    # --- shutdown -----------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions, wait for running jobs, keep queued journaled.
+
+        Idempotent.  Returns True once every worker has exited (all
+        running jobs reached a terminal state); queued jobs stay in the
+        journal for the next server generation to resume.
+        """
+        self._draining.set()
+        self.queue.close()
+        if not self._started or self._drained:
+            return True
+        done = True
+        for _ in self._workers:
+            done = self._idle.acquire(timeout=timeout) and done
+        self._drained = done
+        return done
+
+
+class ServiceServer:
+    """One HTTP daemon bound to one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port),
+                                         make_handler(service))
+        # A keep-alive connection parked in readline() must not block
+        # interpreter exit after a drain.
+        self.httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def start_background(self) -> None:
+        """Serve from a daemon thread (the test/embedded mode)."""
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-http",
+            daemon=True)
+        self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain, then stop the
+        listener.  The drain runs off the signal frame so in-flight
+        HTTP responses (and the signal handler itself) never block."""
+
+        def _graceful(signum, frame) -> None:
+            print(f"[serve] caught signal {signum}; draining",
+                  file=sys.stderr)
+            threading.Thread(target=self.shutdown, daemon=True,
+                             name="serve-drain").start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Drain the service, then stop accepting connections."""
+        self.service.drain(timeout=timeout)
+        self.httpd.shutdown()
+
+    def close(self) -> None:
+        self.httpd.server_close()
+
+
+def run_server(
+    host: str,
+    port: int,
+    jobs: int,
+    queue_limit: int,
+    cache: RunCache | None,
+    journal: JobJournal | None,
+    verbose: bool = False,
+) -> int:
+    """The ``repro serve`` entry point: boot, announce, block, drain."""
+    service = SimulationService(jobs=jobs, queue_limit=queue_limit,
+                                cache=cache, journal=journal,
+                                verbose=verbose)
+    resumed = service.start()
+    server = ServiceServer(service, host=host, port=port)
+    server.install_signal_handlers()
+    resumed_note = f", resumed {resumed} journaled job(s)" if resumed \
+        else ""
+    print(f"[serve] listening on http://{server.host}:{server.port} "
+          f"({jobs} worker(s), queue limit {queue_limit}"
+          f"{resumed_note})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    finally:
+        server.close()
+    pending = len(service.queue.pending())
+    print(f"[serve] drained; {pending} queued job(s) left journaled",
+          file=sys.stderr)
+    return 0

@@ -7,11 +7,17 @@ deterministic per-cell seeding, and memoizes results on disk keyed by
 content hash.  See docs/SWEEP.md.
 """
 
-from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, RunCache
+from .cache import (
+    CACHE_FORMAT,
+    DEFAULT_CACHE_DIR,
+    RunCache,
+    resolve_cache_dir,
+)
 from .cells import CELL_FORMAT, SweepCell
 from .executor import (
     SweepReport,
     active_report,
+    execute_cell,
     execute_cells,
     sweep_context,
 )
@@ -24,6 +30,8 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "active_report",
+    "execute_cell",
     "execute_cells",
+    "resolve_cache_dir",
     "sweep_context",
 ]

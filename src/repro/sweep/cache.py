@@ -25,6 +25,26 @@ from .cells import SweepCell
 #: Default cache root, next to the generated experiment tables.
 DEFAULT_CACHE_DIR = Path("results") / ".runcache"
 
+#: Environment variable overriding :data:`DEFAULT_CACHE_DIR`, so a
+#: long-running server and ad-hoc CLI invocations share one cache
+#: without every command repeating ``--cache-dir``.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
+    """The cache directory a command should use.
+
+    Precedence: an explicit path (the ``--cache-dir`` flag) wins, then a
+    non-empty :data:`CACHE_DIR_ENV` environment variable, then
+    :data:`DEFAULT_CACHE_DIR`.
+    """
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return DEFAULT_CACHE_DIR
+
 #: Version of the cache *file* schema (the envelope around the result).
 CACHE_FORMAT = 1
 

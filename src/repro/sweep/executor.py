@@ -119,6 +119,40 @@ def _run_cell_job(job: dict) -> tuple[str, dict]:
     return "stats", stats.to_json_dict()
 
 
+def execute_cell(
+    cell: SweepCell,
+    cache: RunCache | None = None,
+    isolate_failures: bool = True,
+) -> tuple[SimStats | FailedRun, bool]:
+    """Run one cell in-process; returns ``(result, cache_hit)``.
+
+    The single-cell seam used by long-running callers (the
+    :mod:`repro.serve` job workers) that need to know whether a result
+    was served from the cache without opening a :func:`sweep_context`:
+    the cache is consulted first, the worker RNG is re-seeded from the
+    cell's content hash exactly as :func:`execute_cells` does, and the
+    executed result is stored back.  With ``isolate_failures`` (the
+    default here — a resident service must not die with a cell) a
+    :class:`ReproError` becomes a :class:`FailedRun` row.
+    """
+    key = cell.cache_key()
+    if cache is not None:
+        hit = cache.load(key)
+        if hit is not None:
+            return hit, True
+    random.seed(cell.derived_seed())
+    try:
+        result: SimStats | FailedRun = _default_local_runner(cell)
+    except ReproError as exc:
+        if not isolate_failures:
+            raise
+        result = FailedRun(cell.workload_spec.get("name", "?"),
+                           type(exc).__name__, str(exc))
+    if cache is not None:
+        cache.store(key, cell, result)
+    return result, False
+
+
 def execute_cells(
     cells: Sequence[SweepCell],
     isolate_failures: bool = False,

@@ -1,0 +1,501 @@
+"""Tests for the simulation service (`repro.serve`).
+
+Unmarked tests are pure in-process unit tests of the state machine,
+queue, journal, and job-spec validation — they run in the tier-1 suite.
+The ``serve``-marked classes boot a real HTTP server on an ephemeral
+port and exercise the end-to-end contract: job lifecycle, coalescing,
+cache-hit fast path, 429 backpressure, cancellation, and drain + journal
+resume.  Everything is deterministic: fixed seeds, event-gated fake
+runners instead of timing games, and no wall-clock assertions.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.config import SimulatorConfig
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    InvalidJobError,
+    JobNotFoundError,
+    JobStateError,
+    QueueFullError,
+    ServeClientError,
+    ServeError,
+)
+from repro.obs.metrics import Histogram
+from repro.serve import (
+    JobJournal,
+    JobQueue,
+    ServeClient,
+    ServiceServer,
+    SimulationService,
+)
+from repro.serve.api import build_cell
+from repro.serve.queue import CANCELLED, DONE, FAILED, QUEUED, RUNNING
+from repro.stats import FailedRun, SimStats
+from repro.sweep import RunCache, SweepCell, execute_cell
+
+SCALE = 0.12
+
+
+def cell(seed: int = 0, name: str = "hotspot") -> SweepCell:
+    """A distinct, cheap cell per seed (the seed is part of the hash)."""
+    return SweepCell(
+        workload_spec={"name": name, "scale": SCALE},
+        config=SimulatorConfig(prefetcher="tbn", eviction="lru4k",
+                               seed=seed),
+    )
+
+
+class GatedRunner:
+    """Deterministic fake runner: blocks each job until released.
+
+    ``started`` lets a test wait until a worker actually holds a job
+    before asserting on queue occupancy — no sleeps, no races.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, cell):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        assert self.gate.wait(30), "test gate never released"
+        return SimStats(), False
+
+    def release(self):
+        self.gate.set()
+
+
+class TestJobStateMachine:
+    def test_legal_path_to_done(self):
+        queue = JobQueue()
+        job, coalesced = queue.submit(cell(1))
+        assert job.state == QUEUED and not coalesced
+        taken = queue.take(timeout=1)
+        assert taken is job and job.state == RUNNING
+        queue.complete(job, SimStats(), cache_hit=False)
+        assert job.state == DONE and job.is_terminal
+        assert job.wait(timeout=1)
+
+    def test_failed_run_lands_in_failed(self):
+        queue = JobQueue()
+        job, _ = queue.submit(cell(2))
+        queue.take(timeout=1)
+        queue.complete(job, FailedRun("hotspot", "SimulationError", "x"),
+                       cache_hit=False)
+        assert job.state == FAILED
+        assert job.status_dict()["error"]["type"] == "SimulationError"
+
+    def test_illegal_transitions_raise(self):
+        queue = JobQueue()
+        job, _ = queue.submit(cell(3))
+        with pytest.raises(JobStateError):
+            job.advance(DONE)  # queued -> done skips running
+        queue.take(timeout=1)
+        with pytest.raises(JobStateError):
+            job.advance(QUEUED)
+        queue.complete(job, SimStats(), cache_hit=False)
+        with pytest.raises(JobStateError):
+            job.advance(RUNNING)  # terminal states are final
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue()
+        first, _ = queue.submit(cell(1))
+        second, _ = queue.submit(cell(2))
+        assert queue.take(timeout=1) is first
+        assert queue.take(timeout=1) is second
+
+    def test_identical_cells_coalesce(self):
+        queue = JobQueue()
+        job, coalesced = queue.submit(cell(7))
+        again, again_coalesced = queue.submit(cell(7))
+        assert not coalesced and again_coalesced
+        assert again is job
+        assert queue.depth == 1
+        # ...also while running, but not once terminal.
+        queue.take(timeout=1)
+        assert queue.submit(cell(7))[1] is True
+        queue.complete(job, SimStats(), cache_hit=False)
+        fresh, fresh_coalesced = queue.submit(cell(7))
+        assert not fresh_coalesced and fresh is not job
+
+    def test_bounded_queue_rejects_with_retry_after(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(cell(1))
+        queue.submit(cell(2))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(cell(3))
+        assert excinfo.value.retry_after > 0
+
+    def test_running_jobs_free_queue_slots(self):
+        queue = JobQueue(capacity=1)
+        job, _ = queue.submit(cell(1))
+        queue.take(timeout=1)  # running no longer occupies the slot
+        queue.submit(cell(2))
+        with pytest.raises(QueueFullError):
+            queue.submit(cell(3))
+
+    def test_cancel_only_when_queued(self):
+        queue = JobQueue()
+        job, _ = queue.submit(cell(1))
+        cancelled = queue.cancel(job.id)
+        assert cancelled.state == CANCELLED and queue.depth == 0
+        running, _ = queue.submit(cell(2))
+        queue.take(timeout=1)
+        with pytest.raises(JobStateError):
+            queue.cancel(running.id)
+        with pytest.raises(JobNotFoundError):
+            queue.cancel("nope")
+
+    def test_close_stops_admission_and_handout(self):
+        queue = JobQueue()
+        queue.submit(cell(1))
+        queue.close()
+        assert queue.take(timeout=1) is None  # queued job is NOT handed out
+        assert len(queue.pending()) == 1  # ...it stays for the journal
+        with pytest.raises(JobStateError):
+            queue.submit(cell(2))
+
+
+class TestJournal:
+    def test_round_trip_in_submission_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        queue = JobQueue()
+        jobs = [queue.submit(cell(seed))[0] for seed in (5, 3, 8)]
+        for job in jobs:
+            journal.record(job)
+        replayed = journal.load()
+        assert [job_id for job_id, _ in replayed] == \
+            [job.id for job in jobs]
+        assert [c.cache_key() for _, c in replayed] == \
+            [job.cell.cache_key() for job in jobs]
+
+    def test_forget_is_idempotent(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        queue = JobQueue()
+        job, _ = queue.submit(cell(1))
+        journal.record(job)
+        journal.forget(job.id)
+        journal.forget(job.id)
+        assert journal.load() == []
+
+    def test_corrupt_entries_are_skipped(self, tmp_path, capsys):
+        journal = JobJournal(tmp_path / "journal")
+        queue = JobQueue()
+        job, _ = queue.submit(cell(1))
+        journal.record(job)
+        (journal.root / "zz-corrupt.json").write_text("{not json")
+        (journal.root / "zz-stale.json").write_text(
+            json.dumps({"format": -1}))
+        assert [job_id for job_id, _ in journal.load()] == [job.id]
+        assert "skipping" in capsys.readouterr().err
+
+
+class TestBuildCell:
+    def test_valid_spec(self):
+        built = build_cell({"workload": {"name": "hotspot",
+                                         "scale": 0.25},
+                            "config": {"prefetcher": "none"},
+                            "seed": 9})
+        assert built.workload_spec == {"name": "hotspot", "scale": 0.25}
+        assert built.config.prefetcher == "none"
+        assert built.config.seed == 9
+
+    def test_workload_shorthand_string(self):
+        assert build_cell({"workload": "bfs"}).workload_spec == \
+            {"name": "bfs"}
+
+    def test_rejections(self):
+        for bad in (
+            [],  # not an object
+            {"workload": "hotspot", "bogus": 1},  # unknown spec field
+            {"config": {}},  # workload missing
+            {"workload": {"scale": 1.0}},  # name missing
+            {"workload": "not-a-workload"},
+            {"workload": "hotspot", "config": {"nope": 1}},
+            {"workload": "hotspot", "config": {"num_sms": -1}},
+            {"workload": "hotspot", "seed": "abc"},  # non-int seed
+        ):
+            with pytest.raises(InvalidJobError):
+                build_cell(bad)
+
+    def test_seed_must_be_integral_in_config_too(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(seed="abc")
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_clamped_to_observed_range(self):
+        histogram = Histogram("h", bounds=[10, 100, 1000])
+        for value in (4, 5, 6, 7):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 7  # bound 10 clamped to max
+        histogram.observe(5000)  # overflow bucket
+        assert histogram.quantile(1.0) == 5000
+
+    def test_spread(self):
+        histogram = Histogram("h", bounds=[10, 100, 1000])
+        for value in (5,) * 90 + (500,) * 10:
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 10
+        assert histogram.quantile(0.95) == 500
+
+    def test_bad_q_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestServiceUnit:
+    """Service-level behaviour with gated runners (no HTTP)."""
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ServeError):
+            SimulationService(jobs=0)
+
+    def test_drain_finishes_running_keeps_queued(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        runner = GatedRunner()
+        service = SimulationService(jobs=1, queue_limit=8,
+                                    journal=journal, runner=runner)
+        service.start()
+        first, _ = service.submit(cell(1))
+        assert runner.started.wait(30)  # worker holds `first` at the gate
+        second, _ = service.submit(cell(2))
+        assert second.state == QUEUED
+        drained = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (service.drain(timeout=30), drained.set()))
+        thread.start()
+        runner.release()
+        thread.join(timeout=30)
+        assert drained.is_set()
+        assert first.state == DONE
+        assert second.state == QUEUED  # left for the next generation
+        assert [job_id for job_id, _ in journal.load()] == [second.id]
+
+    def test_restart_resumes_journaled_jobs_under_original_ids(
+            self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        runner = GatedRunner()
+        service = SimulationService(jobs=1, journal=journal,
+                                    runner=runner)
+        service.start()
+        held, _ = service.submit(cell(1))
+        assert runner.started.wait(30)
+        queued, _ = service.submit(cell(2))
+        service.drain(timeout=0.2)  # held job is gated: drain times out
+        runner.release()
+        assert service.drain(timeout=30)
+
+        second_runner = GatedRunner()
+        second_runner.release()
+        reborn = SimulationService(jobs=1, journal=journal,
+                                   runner=second_runner)
+        assert reborn.start() == 1
+        job = reborn.queue.get(queued.id)  # original id survived
+        assert job.wait(timeout=30) and job.state == DONE
+        assert reborn.registry.get("serve.jobs_resumed").value == 1
+        assert journal.load() == []
+        reborn.drain(timeout=30)
+
+    def test_runner_crash_becomes_failed_run(self):
+        def exploding(cell):
+            raise RuntimeError("boom")
+
+        service = SimulationService(jobs=1, runner=exploding)
+        service.start()
+        job, _ = service.submit(cell(1))
+        assert job.wait(timeout=30)
+        assert job.state == FAILED
+        assert isinstance(job.result, FailedRun)
+        assert job.result.error_type == "RuntimeError"
+        service.drain(timeout=30)
+
+
+@pytest.fixture()
+def http_service(tmp_path):
+    """A gated-runner service behind a real HTTP server."""
+    runner = GatedRunner()
+    journal = JobJournal(tmp_path / "journal")
+    service = SimulationService(jobs=1, queue_limit=1, journal=journal,
+                                runner=runner)
+    service.start()
+    server = ServiceServer(service, port=0)
+    server.start_background()
+    client = ServeClient(port=server.port, timeout=10.0)
+    try:
+        yield service, runner, client
+    finally:
+        runner.release()
+        server.shutdown(timeout=30)
+        server.close()
+
+
+@pytest.mark.serve
+class TestHttpApi:
+    def test_healthz_and_unknown_routes(self, http_service):
+        _, _, client = http_service
+        health = client.healthz()
+        assert health["status"] == "ok" and health["workers"] == 1
+        with pytest.raises(ServeClientError) as excinfo:
+            client.status("missing")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_is_400(self, http_service):
+        _, _, client = http_service
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit("not-a-workload")
+        assert excinfo.value.status == 400
+        assert excinfo.value.payload["error"]["type"] == \
+            "InvalidJobError"
+
+    def test_backpressure_coalescing_and_cancel(self, http_service):
+        service, runner, client = http_service
+        spec = {"name": "hotspot", "scale": SCALE}
+        held = client.submit(spec, seed=1)  # occupies the worker
+        assert runner.started.wait(30)
+        queued = client.submit(spec, seed=2)  # fills the 1-slot queue
+        assert queued["state"] == "queued"
+
+        # Identical submission coalesces instead of queueing...
+        again = client.submit(spec, seed=2)
+        assert again["id"] == queued["id"] and again["coalesced"]
+
+        # ...a distinct one is pushed back with 429 + Retry-After.
+        with pytest.raises(BackpressureError) as excinfo:
+            client.submit(spec, seed=3)
+        assert excinfo.value.retry_after >= 1
+        metrics = client.metrics()
+        assert metrics["serve.jobs_rejected_backpressure"] == 1
+        assert metrics["serve.jobs_coalesced"] == 1
+
+        # Result of a non-terminal job is a 409.
+        with pytest.raises(ServeClientError) as excinfo:
+            client.result(queued["id"])
+        assert excinfo.value.status == 409
+
+        # Cancel the queued job; the running one refuses.
+        assert client.cancel(queued["id"])["state"] == "cancelled"
+        assert client.wait(queued["id"], timeout=5)["result"]["kind"] \
+            == "cancelled"
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cancel(held["id"])
+        assert excinfo.value.status == 409
+
+        runner.release()
+        done = client.wait(held["id"], timeout=30)
+        assert done["state"] == "done"
+        assert {job["id"] for job in client.jobs()} == \
+            {held["id"], queued["id"]}
+
+    def test_submit_during_drain_is_503(self, http_service):
+        service, runner, client = http_service
+        runner.release()
+        service.drain(timeout=30)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit({"name": "hotspot", "scale": SCALE})
+        assert excinfo.value.status == 503
+        assert client.healthz()["status"] == "draining"
+
+
+@pytest.mark.serve
+class TestEndToEndSimulation:
+    """Real simulations through the full HTTP + cache stack."""
+
+    @staticmethod
+    def _serve(cache, journal_dir):
+        executed = []
+
+        def counting_runner(target_cell):
+            result, hit = execute_cell(target_cell, cache=cache)
+            if not hit:
+                executed.append(target_cell.cache_key())
+            return result, hit
+
+        service = SimulationService(jobs=2, queue_limit=8,
+                                    journal=JobJournal(journal_dir),
+                                    runner=counting_runner)
+        service.start()
+        server = ServiceServer(service, port=0)
+        server.start_background()
+        return service, server, executed
+
+    def test_lifecycle_cache_reuse_and_parity(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        service, server, executed = self._serve(
+            cache, tmp_path / "journal")
+        client = ServeClient(port=server.port)
+        try:
+            target = cell(0)
+            job = client.submit(target.workload_spec,
+                                config=target.config.to_dict())
+            outcome = client.wait(job["id"], timeout=120)
+            assert outcome["state"] == "done"
+            assert outcome["cache_hit"] is False
+            served = ServeClient.decode_result(outcome)
+
+            # Byte-identical to the same cell executed in-process.
+            direct, hit = execute_cell(cell(0))
+            assert not hit
+            assert served == direct
+
+            # Resubmit: cache hit, zero additional simulations.
+            again = client.submit(target.workload_spec,
+                                  config=target.config.to_dict())
+            assert again["id"] != job["id"]
+            repeat = client.wait(again["id"], timeout=30)
+            assert repeat["cache_hit"] is True
+            assert ServeClient.decode_result(repeat) == direct
+            assert len(executed) == 1
+
+            metrics = client.metrics()
+            assert metrics["serve.cache_hits"] == 1
+            assert metrics["serve.cache_misses"] == 1
+            assert metrics["serve.jobs_done"] == 2
+            assert metrics["serve.service_latency_ns_count"] == 2
+            assert metrics["serve.service_latency_ns_p95"] >= \
+                metrics["serve.service_latency_ns_p50"] > 0
+        finally:
+            server.shutdown(timeout=60)
+            server.close()
+
+    def test_simulation_fault_is_failed_run_not_500(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        service, server, _ = self._serve(cache, tmp_path / "journal")
+        client = ServeClient(port=server.port)
+        try:
+            bad = SweepCell(
+                workload_spec={"name": "hotspot", "scale": SCALE},
+                config=SimulatorConfig(
+                    prefetcher="tbn", eviction="lru4k",
+                    fault_profile={"transfer_fault_rate": 1.0,
+                                   "max_retries": 1,
+                                   "degrade_after_failures": 0,
+                                   "seed": 0},
+                ),
+            )
+            job = client.submit(bad.workload_spec,
+                                config=bad.config.to_dict())
+            outcome = client.wait(job["id"], timeout=120)
+            assert outcome["state"] == "failed"
+            failed = ServeClient.decode_result(outcome)
+            assert isinstance(failed, FailedRun)
+        finally:
+            server.shutdown(timeout=60)
+            server.close()
