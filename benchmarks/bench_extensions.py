@@ -1,8 +1,12 @@
 """Bench: extension features — adaptive pre-eviction, page-walk model,
-finite fault buffer."""
+finite fault buffer, policy autotuning."""
 
 from repro.analysis.metrics import geomean
-from repro.experiments import ablations, extension_adaptive
+from repro.experiments import (
+    ablations,
+    extension_adaptive,
+    extension_autotune,
+)
 
 from conftest import SCALE, run_once, save_result
 
@@ -19,6 +23,23 @@ def test_extension_adaptive_policy(benchmark):
     best = [min(s, t) for s, t in zip(sle, tbne)]
     assert geomean([w / a for w, a in zip(worst, adaptive)]) > 0.8
     assert geomean([a / b for a, b in zip(adaptive, best)]) < 2.0
+
+
+def test_extension_autotune_recovers_winners(benchmark):
+    # Runs at the extension's pinned scale (0.3, the validated tuning
+    # regime), not REPRO_BENCH_SCALE: the asserted winners are
+    # scale-conditional and 0.3 is where the ground truth holds.
+    result = run_once(benchmark, extension_autotune.run)
+    save_result(result)
+    winners = {
+        (row[0], row[1]): row[2] for row in result.rows
+    }
+    # The searched winners reproduce the paper's conditionality story.
+    assert winners[("gemm", "110%")] == "TBNe+TBNp"
+    assert winners[("bfs", "110%")] == "SLe+SLp"
+    # Every winner beats or matches the naive baseline.
+    for row in result.rows:
+        assert float(row[4].rstrip("x")) >= 1.0
 
 
 def test_ablation_page_walk_model(benchmark):

@@ -17,8 +17,13 @@ import pathlib
 
 import pytest
 
-#: Workload footprint scale used by all benchmarks.
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+from repro.workloads.registry import validate_scale
+
+#: Workload footprint scale used by all benchmarks.  Rejects garbage
+#: (non-numeric, NaN/inf, <= 0) up front with a clean error instead of
+#: building empty or degenerate workloads.
+SCALE = validate_scale(os.environ.get("REPRO_BENCH_SCALE", "0.4"),
+                       "REPRO_BENCH_SCALE")
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 

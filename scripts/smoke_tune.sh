@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the policy auto-tuner: one tuning run twice
+# against a fresh cache directory — the first executes simulations, the
+# second must run entirely from cache and write a byte-identical
+# recommendation card — plus a sanity check that the search recovers
+# the paper's headline pairing, a `repro recommend` readback, and the
+# dedicated test module.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== repro tune gemm (cold cache) =="
+python -m repro tune gemm --scale 0.3 --percents 110 \
+    --cache-dir "$out_dir/runcache" --out "$out_dir/cards_cold" \
+    > "$out_dir/first.out" 2> "$out_dir/first.err"
+cat "$out_dir/first.out"
+grep '^\[tune\]' "$out_dir/first.err"
+
+echo
+echo "== repro tune gemm (warm cache) =="
+python -m repro tune gemm --scale 0.3 --percents 110 \
+    --cache-dir "$out_dir/runcache" --out "$out_dir/cards_warm" \
+    > "$out_dir/second.out" 2> "$out_dir/second.err"
+grep '^\[tune\]' "$out_dir/second.err"
+
+echo
+echo "== warm run must execute nothing and write an identical card =="
+grep -q '^\[tune\] 0 simulation(s) executed' "$out_dir/second.err" || {
+    echo "FAIL: warm tune re-executed simulations" >&2
+    exit 1
+}
+cmp "$out_dir/cards_cold/gemm.json" "$out_dir/cards_warm/gemm.json" || {
+    echo "FAIL: warm card differs from the cold card" >&2
+    exit 1
+}
+# The card path line names the (different) --out dirs; everything else
+# must match byte-for-byte.
+cmp <(grep -v '^card -> ' "$out_dir/first.out") \
+    <(grep -v '^card -> ' "$out_dir/second.out") || {
+    echo "FAIL: warm run's stdout differs from the cold run" >&2
+    exit 1
+}
+echo "cache hit: 0 simulations, card byte-identical"
+
+echo
+echo "== the search must recover the paper's headline pairing =="
+grep -q '110% oversubscribed -> TBNe+TBNp' "$out_dir/first.out" || {
+    echo "FAIL: tuner did not recover TBNe+TBNp on gemm at 110%" >&2
+    exit 1
+}
+python -m repro recommend gemm --oversubscription 110 \
+    --cards-dir "$out_dir/cards_cold" | tee "$out_dir/recommend.out"
+grep -q 'run TBNe+TBNp' "$out_dir/recommend.out" || {
+    echo "FAIL: repro recommend does not answer TBNe+TBNp" >&2
+    exit 1
+}
+
+echo
+echo "== tune test module (incl. server-backed parity) =="
+python -m pytest tests/test_tune.py -q -m ""
+
+echo
+echo "tune smoke OK"

@@ -35,6 +35,15 @@ job queue with 429 backpressure, shared run cache, SIGTERM drain with a
 queued-job journal); ``submit`` sends one cell to a server and waits for
 the result; ``jobs`` lists/polls/cancels server jobs.  See
 docs/SERVICE.md.
+
+``tune`` searches the policy space (prefetcher x eviction x driver
+knobs) for one workload across over-subscription levels — exhaustive
+grid, seeded random, or multi-fidelity successive halving — and writes
+a byte-stable recommendation card under ``results/tune/``; with
+``--via-server URL`` the evaluations run on a ``repro serve`` daemon
+instead of in-process.  ``recommend`` answers "which pair should I
+run?" from an existing card without simulating anything.  See
+docs/TUNING.md.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from .core.prefetch import PREFETCHER_REGISTRY
 from .experiments import (
     ablations,
     extension_adaptive,
+    extension_autotune,
     extension_colocation,
     extension_resilience,
     fig2_microbench,
@@ -75,6 +85,21 @@ from .experiments import (
 from .presets import PRESETS, preset_config
 from .runtime import UvmRuntime
 from .serve.client import DEFAULT_PORT as SERVE_DEFAULT_PORT
+from .tune import (
+    DRIVERS as TUNE_DRIVERS,
+    OBJECTIVES as TUNE_OBJECTIVES,
+    SearchSpace,
+    ServerEvaluator,
+    TuneRequest,
+    format_card,
+    get_objective,
+    load_card,
+    make_driver,
+    parse_server_url,
+    recommendation_for,
+    tune_workload,
+    write_card,
+)
 from .sweep import (
     DEFAULT_CACHE_DIR,
     RunCache,
@@ -115,6 +140,10 @@ EXPERIMENTS = {
     "ablation-latency": lambda scale: ablations.run_fault_latency(
         scale=scale),
     "ext-adaptive": lambda scale: extension_adaptive.run(scale=scale),
+    # Pinned to the validated tuning regime: the pairing interplay is
+    # scale-sensitive, and the autotune table demonstrates search
+    # recovery at the operating point where the ground truth is known.
+    "ext-autotune": lambda scale: extension_autotune.run(),
     "ext-colocation": lambda scale: extension_colocation.run(scale=scale),
     "ext-resilience": lambda scale: extension_resilience.run(scale=scale),
 }
@@ -338,6 +367,68 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument("--cancel", action="store_true",
                         help="cancel the given queued job")
     add_remote_flags(jobs_p)
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="search the policy space for one workload and write a "
+             "recommendation card (see docs/TUNING.md)",
+    )
+    tune_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    tune_p.add_argument("--scale", type=float, default=0.3)
+    tune_p.add_argument("--percents", type=float, nargs="+",
+                        default=[105.0, 110.0, 125.0],
+                        help="over-subscription levels; each gets its "
+                             "own tournament")
+    tune_p.add_argument("--driver", default="grid",
+                        choices=list(TUNE_DRIVERS),
+                        help="search driver (default: grid)")
+    tune_p.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="max candidates admitted per tournament "
+                             "(required for random; default: all)")
+    tune_p.add_argument("--objective", default="kernel-time",
+                        choices=sorted(TUNE_OBJECTIVES),
+                        help="scalar score to minimize "
+                             "(default: kernel-time)")
+    tune_p.add_argument("--seed", type=int, default=0)
+    tune_p.add_argument("--eta", type=int, default=2,
+                        help="halving keep-fraction denominator "
+                             "(default: 2)")
+    tune_p.add_argument("--fidelities", type=float, nargs="+",
+                        default=None, metavar="F",
+                        help="halving rung ladder as fractions of "
+                             "--scale, ending at 1.0 (default: 0.5 1.0)")
+    tune_p.add_argument("--thresholds", type=float, nargs="+",
+                        default=[0.5], metavar="T",
+                        help="TBN threshold axis (default: 0.5)")
+    tune_p.add_argument("--batch-limits", type=int, nargs="+",
+                        default=[0], metavar="N",
+                        help="fault-batch-limit axis (default: 0 = "
+                             "unlimited)")
+    tune_p.add_argument("--via-server", default=None, metavar="URL",
+                        help="evaluate cells on a running `repro serve` "
+                             "daemon instead of in-process")
+    tune_p.add_argument("--server-timeout", type=float, default=600.0,
+                        help="seconds to wait per server job "
+                             "(default: 600)")
+    tune_p.add_argument("--out", type=Path, default=None,
+                        help="card directory (default: results/tune)")
+    add_sweep_flags(tune_p)
+
+    rec_p = sub.add_parser(
+        "recommend",
+        help="print the tuned policy recommendation for a workload "
+             "from its card (no simulation)",
+    )
+    rec_p.add_argument("workload", choices=sorted(WORKLOAD_REGISTRY))
+    rec_p.add_argument("--oversubscription", type=float, default=None,
+                       metavar="PERCENT",
+                       help="over-subscription level to answer for "
+                            "(default: the card's first level)")
+    rec_p.add_argument("--cards-dir", type=Path, default=None,
+                       help="card directory (default: results/tune)")
+    rec_p.add_argument("--json", action="store_true",
+                       help="print the full recommendation block as "
+                            "canonical JSON")
 
     val_p = sub.add_parser("validate",
                            help="check the paper's claims against "
@@ -690,6 +781,72 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    space = SearchSpace(
+        percents=tuple(args.percents),
+        tbn_thresholds=tuple(args.thresholds),
+        fault_batch_limits=tuple(args.batch_limits),
+    )
+    request = TuneRequest(
+        workload=args.workload,
+        scale=args.scale,
+        space=space,
+        driver=make_driver(args.driver, budget=args.budget,
+                           seed=args.seed, eta=args.eta,
+                           fidelities=args.fidelities),
+        objective=get_objective(args.objective),
+        seed=args.seed,
+    )
+    if args.via_server is not None:
+        from .serve import ServeClient
+
+        host, port = parse_server_url(args.via_server)
+        client = ServeClient(host=host, port=port)
+        card = tune_workload(
+            request,
+            evaluator=ServerEvaluator(client,
+                                      timeout=args.server_timeout),
+        )
+        print(f"[tune] evaluated via http://{host}:{port}",
+              file=sys.stderr)
+    else:
+        _check_jobs(args.jobs)
+        with sweep_context(jobs=args.jobs,
+                           cache=_run_cache(args)) as report:
+            card = tune_workload(request)
+        # Stderr on purpose: the card and summary on stdout stay
+        # byte-identical across --jobs/cache settings.
+        print(f"[tune] {report.summary()}", file=sys.stderr)
+    path = write_card(card, args.out)
+    print(format_card(card))
+    print(f"card -> {path}")
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    card = load_card(args.workload, args.cards_dir)
+    block = recommendation_for(card, args.oversubscription)
+    if args.json:
+        print(json.dumps(block, sort_keys=True, indent=2))
+        return 0
+    winner = block["winner"]
+    candidate = winner["candidate"]
+    percent = block["oversubscription_percent"]
+    time_ms = winner["metrics"]["kernel_time_ns"] / 1e6
+    print(f"{card['workload']} @ {percent:g}% over-subscription: "
+          f"run {candidate['pairing']}")
+    print(f"  prefetcher={candidate['prefetcher']} "
+          f"eviction={candidate['eviction']} "
+          f"tbn_threshold={candidate['tbn_threshold']:g} "
+          f"fault_batch_limit={candidate['fault_batch_limit']}")
+    print(f"  kernel time {time_ms:.3f} ms, "
+          f"migrated {winner['metrics']['migrated_bytes']} bytes, "
+          f"{winner['metrics']['far_faults']} far-faults "
+          f"({card['objective']['name']} objective, "
+          f"{block['evaluations']} evaluations)")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     columns = {}
     for preset_name in (args.preset_a, args.preset_b):
@@ -729,6 +886,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_submit(args)
     if args.command == "jobs":
         return cmd_jobs(args)
+    if args.command == "tune":
+        return cmd_tune(args)
+    if args.command == "recommend":
+        return cmd_recommend(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "report":

@@ -51,6 +51,15 @@ class SweepError(ReproError):
     """A sweep cell failed (or its cached result could not be used)."""
 
 
+class TuneError(ReproError):
+    """A policy auto-tuning request (:mod:`repro.tune`) is invalid.
+
+    Raised for malformed search spaces (empty axes, unknown policies),
+    degenerate fidelity ladders, exhausted/invalid budgets, and missing
+    or stale recommendation cards.
+    """
+
+
 class ServeError(ReproError):
     """Base class for the simulation service (:mod:`repro.serve`)."""
 

@@ -16,7 +16,12 @@ executing in-process::
 Transport errors and non-2xx answers raise
 :class:`~repro.errors.ServeClientError`; a 429 raises the more specific
 :class:`~repro.errors.BackpressureError` carrying the server's
-``Retry-After`` hint so callers can implement polite retry loops.
+``Retry-After`` hint.  :meth:`ServeClient.submit` honours that hint
+itself: it retries up to ``backpressure_retries`` times, sleeping the
+server-suggested interval (capped at ``retry_after_cap`` seconds) each
+time, and only raises :class:`BackpressureError` once the budget is
+exhausted.  Pass ``backpressure_retries=0`` to fail fast on the first
+429 (the old behaviour).
 """
 
 from __future__ import annotations
@@ -36,10 +41,22 @@ class ServeClient:
     """Blocking JSON-over-HTTP client; one connection per request."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, backpressure_retries: int = 5,
+                 retry_after_cap: float = 2.0) -> None:
+        if backpressure_retries < 0:
+            raise ServeClientError(
+                f"backpressure_retries must be >= 0, got "
+                f"{backpressure_retries}"
+            )
+        if retry_after_cap <= 0:
+            raise ServeClientError(
+                f"retry_after_cap must be > 0, got {retry_after_cap}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.backpressure_retries = backpressure_retries
+        self.retry_after_cap = retry_after_cap
 
     # --- transport ---------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -95,12 +112,25 @@ class ServeClient:
 
     def submit(self, workload: str | dict, config: dict | None = None,
                seed: int | None = None) -> dict:
-        """Submit one job; returns its status dict (202 body)."""
+        """Submit one job; returns its status dict (202 body).
+
+        A 429 (queue full) is retried up to ``backpressure_retries``
+        times, sleeping the server's ``Retry-After`` hint — capped at
+        ``retry_after_cap`` seconds — between attempts.  The final
+        attempt re-raises :class:`~repro.errors.BackpressureError`
+        untouched, so callers still see the server's hint.
+        """
         spec: dict = {"workload": workload}
         if config is not None:
             spec["config"] = config
         if seed is not None:
             spec["seed"] = seed
+        for _ in range(self.backpressure_retries):
+            try:
+                return self._request("POST", "/v1/jobs", body=spec)
+            except BackpressureError as exc:
+                time.sleep(min(max(exc.retry_after, 0.0),
+                               self.retry_after_cap))
         return self._request("POST", "/v1/jobs", body=spec)
 
     def status(self, job_id: str) -> dict:

@@ -1,0 +1,258 @@
+"""Search drivers: which candidates to evaluate, at which fidelity.
+
+A driver never simulates anything itself — it is handed an ``evaluate``
+callback (``(candidates, fidelity) -> [Trial]``) and decides only *what*
+to spend the budget on:
+
+* :class:`GridSearch` — the paper's own method: every candidate at full
+  fidelity.  The baseline every smarter driver must agree with.
+* :class:`RandomSearch` — a seeded sample of the candidate set at full
+  fidelity, for spaces too large to enumerate.
+* :class:`SuccessiveHalving` — multi-fidelity: evaluate everyone on a
+  *scaled-down workload footprint* (cheap rung), promote the best
+  ``1/eta`` fraction to the next rung, and only the survivors pay for
+  the full-scale evaluation.  The winner is always judged at fidelity
+  1.0 — low-fidelity scores prune, they never crown.
+
+All drivers are deterministic: selection order is the space's
+enumeration order, random sampling is seeded, and every ranking uses the
+objective's rank vector with the candidate key as the final tie-break.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import TuneError
+from ..stats import FailedRun, SimStats
+from ..workloads.registry import validate_scale
+from .objective import Objective, metric_vector
+from .space import Candidate
+
+
+@dataclass
+class Trial:
+    """One evaluated (candidate, fidelity) point."""
+
+    candidate: Candidate
+    #: Fraction of the requested footprint scale this ran at (1.0 = full).
+    fidelity: float
+    score: float
+    #: Objective rank vector + candidate key — the total order.
+    rank: tuple
+    metrics: dict[str, float]
+    #: ``"ErrorType: message"`` when the simulation raised; None normally.
+    failed: str | None = None
+
+    def to_json_dict(self) -> dict:
+        out = {
+            "candidate": self.candidate.key(),
+            "fidelity": self.fidelity,
+            "score": self.score,
+            "metrics": dict(self.metrics),
+        }
+        if self.failed is not None:
+            out["failed"] = self.failed
+        return out
+
+
+def make_trial(candidate: Candidate, fidelity: float,
+               result: SimStats | FailedRun,
+               objective: Objective) -> Trial:
+    """Score one evaluation result into a :class:`Trial`."""
+    return Trial(
+        candidate=candidate,
+        fidelity=fidelity,
+        score=objective.score(result),
+        rank=objective.rank_vector(result) + (candidate.key(),),
+        metrics=metric_vector(result),
+        failed=str(result) if isinstance(result, FailedRun) else None,
+    )
+
+
+#: ``(candidates, fidelity) -> trials`` — the only way drivers simulate.
+EvaluateFn = Callable[[Sequence[Candidate], float], "list[Trial]"]
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one driver run produced for one tournament."""
+
+    #: Full-fidelity trials of the final rung, in evaluation order.
+    final_trials: list[Trial]
+    #: One record per rung: fidelity, what ran, what was promoted.
+    rungs: list[dict]
+
+    @property
+    def evaluations(self) -> int:
+        return sum(len(r["evaluated"]) for r in self.rungs)
+
+
+class SearchDriver(ABC):
+    """Common budget plumbing for the three drivers."""
+
+    name: str = "abstract"
+
+    def __init__(self, budget: int | None = None) -> None:
+        if budget is not None and (not isinstance(budget, int)
+                                   or isinstance(budget, bool)
+                                   or budget < 1):
+            raise TuneError(
+                f"search budget must be a positive integer or None, "
+                f"got {budget!r}"
+            )
+        self.budget = budget
+
+    @abstractmethod
+    def search(self, candidates: Sequence[Candidate],
+               evaluate: EvaluateFn) -> SearchOutcome:
+        """Run the tournament; the final rung is always fidelity 1.0."""
+
+    def describe(self) -> dict:
+        """JSON-able self-description embedded in the card."""
+        return {"name": self.name, "budget": self.budget}
+
+    def _admit(self, candidates: Sequence[Candidate]) -> list[Candidate]:
+        """The budget-limited slice, in enumeration order."""
+        if not candidates:
+            raise TuneError("no candidates to search")
+        if self.budget is None:
+            return list(candidates)
+        return list(candidates)[:self.budget]
+
+
+def _rung_record(fidelity: float, trials: Sequence[Trial],
+                 promoted: Sequence[Candidate] | None = None) -> dict:
+    record = {
+        "fidelity": fidelity,
+        "evaluated": [t.to_json_dict() for t in trials],
+    }
+    if promoted is not None:
+        record["promoted"] = [c.key() for c in promoted]
+    return record
+
+
+class GridSearch(SearchDriver):
+    """Exhaustive full-fidelity evaluation (the paper's methodology)."""
+
+    name = "grid"
+
+    def search(self, candidates: Sequence[Candidate],
+               evaluate: EvaluateFn) -> SearchOutcome:
+        chosen = self._admit(candidates)
+        trials = evaluate(chosen, 1.0)
+        return SearchOutcome(final_trials=trials,
+                             rungs=[_rung_record(1.0, trials)])
+
+
+class RandomSearch(SearchDriver):
+    """Seeded uniform sample of the space at full fidelity."""
+
+    name = "random"
+
+    def __init__(self, budget: int, seed: int = 0) -> None:
+        if budget is None:
+            raise TuneError("random search needs an explicit budget")
+        super().__init__(budget)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise TuneError(f"seed must be an integer, got {seed!r}")
+        self.seed = seed
+
+    def describe(self) -> dict:
+        return {"name": self.name, "budget": self.budget,
+                "seed": self.seed}
+
+    def search(self, candidates: Sequence[Candidate],
+               evaluate: EvaluateFn) -> SearchOutcome:
+        if not candidates:
+            raise TuneError("no candidates to search")
+        pool = list(candidates)
+        count = min(self.budget, len(pool))
+        rng = random.Random(self.seed)
+        picked = sorted(rng.sample(range(len(pool)), count))
+        chosen = [pool[i] for i in picked]
+        trials = evaluate(chosen, 1.0)
+        return SearchOutcome(final_trials=trials,
+                             rungs=[_rung_record(1.0, trials)])
+
+
+class SuccessiveHalving(SearchDriver):
+    """Multi-fidelity pruning over scaled-down workload footprints.
+
+    ``fidelities`` is the rung ladder as fractions of the requested
+    footprint scale; it must be strictly increasing and end at 1.0.
+    Each intermediate rung keeps the best ``ceil(n / eta)`` candidates
+    (never fewer than one) by the objective's deterministic rank; the
+    last rung re-evaluates the survivors at full scale.
+    """
+
+    name = "halving"
+
+    def __init__(self, budget: int | None = None, eta: int = 2,
+                 fidelities: Sequence[float] = (0.5, 1.0)) -> None:
+        super().__init__(budget)
+        if not isinstance(eta, int) or isinstance(eta, bool) or eta < 2:
+            raise TuneError(f"eta must be an integer >= 2, got {eta!r}")
+        self.eta = eta
+        ladder = [validate_scale(f, "halving fidelity")
+                  for f in fidelities]
+        if not ladder:
+            raise TuneError("halving needs at least one fidelity rung")
+        if any(b <= a for a, b in zip(ladder, ladder[1:])):
+            raise TuneError(
+                f"fidelities must be strictly increasing, got {ladder!r}"
+            )
+        if ladder[-1] != 1.0:
+            raise TuneError(
+                f"the last fidelity rung must be 1.0 (the winner is "
+                f"always judged at full scale), got {ladder!r}"
+            )
+        self.fidelities = tuple(ladder)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "budget": self.budget,
+                "eta": self.eta, "fidelities": list(self.fidelities)}
+
+    def search(self, candidates: Sequence[Candidate],
+               evaluate: EvaluateFn) -> SearchOutcome:
+        survivors = self._admit(candidates)
+        rungs: list[dict] = []
+        for fidelity in self.fidelities[:-1]:
+            trials = evaluate(survivors, fidelity)
+            ranked = sorted(trials, key=lambda t: t.rank)
+            keep = max(1, math.ceil(len(survivors) / self.eta))
+            promoted = [t.candidate for t in ranked[:keep]]
+            rungs.append(_rung_record(fidelity, trials, promoted))
+            survivors = promoted
+        final = evaluate(survivors, self.fidelities[-1])
+        rungs.append(_rung_record(self.fidelities[-1], final))
+        return SearchOutcome(final_trials=final, rungs=rungs)
+
+
+#: CLI name -> constructor.  See :func:`make_driver`.
+DRIVERS = ("grid", "random", "halving")
+
+
+def make_driver(name: str, budget: int | None = None, seed: int = 0,
+                eta: int = 2,
+                fidelities: Sequence[float] | None = None) -> SearchDriver:
+    """Build a driver from CLI-ish arguments."""
+    if name == "grid":
+        return GridSearch(budget)
+    if name == "random":
+        if budget is None:
+            raise TuneError(
+                "random search needs --budget (the sample size)")
+        return RandomSearch(budget, seed=seed)
+    if name == "halving":
+        return SuccessiveHalving(
+            budget, eta=eta,
+            fidelities=fidelities if fidelities is not None
+            else (0.5, 1.0))
+    raise TuneError(
+        f"unknown search driver {name!r}; known: {', '.join(DRIVERS)}"
+    )

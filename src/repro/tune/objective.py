@@ -1,0 +1,134 @@
+"""Objectives: turning a :class:`SimStats` into comparable scores.
+
+The tuner never looks inside a simulation — it sees each evaluated cell
+only through a small canonical metric vector (kernel time, migrated
+bytes over PCI-e, far-fault count; all lower-is-better) extracted here.
+An :class:`Objective` picks one metric as the scalar score and orders
+the rest behind it for *deterministic tie-breaking*: two candidates with
+identical primary scores are split by the remaining metrics in
+canonical order, and finally by candidate key — so a tuning run never
+depends on dict ordering or float noise for its ranking.
+
+A :class:`~repro.stats.FailedRun` scores infinitely bad on every metric:
+a crashing configuration can never be recommended, but it cannot take
+down the tournament either.
+
+:func:`pareto_frontier` computes the non-dominated set over the full
+metric vectors — the multi-objective view the recommendation card ships
+alongside the scalar winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import TuneError
+from ..stats import FailedRun, SimStats
+
+#: Canonical metric order.  Keep stable: it defines both tie-breaking
+#: and the card's metric dict layout.
+METRIC_ORDER: tuple[str, ...] = (
+    "kernel_time_ns", "migrated_bytes", "far_faults",
+)
+
+_EXTRACTORS: dict[str, Callable[[SimStats], float]] = {
+    "kernel_time_ns": lambda s: float(s.total_kernel_time_ns),
+    "migrated_bytes": lambda s: float(s.h2d.total_bytes
+                                      + s.d2h.total_bytes),
+    "far_faults": lambda s: float(s.far_faults),
+}
+
+
+def metric_vector(result: SimStats | FailedRun) -> dict[str, float]:
+    """The canonical metrics of one evaluation (inf for failures)."""
+    if isinstance(result, FailedRun):
+        return {name: float("inf") for name in METRIC_ORDER}
+    return {name: _EXTRACTORS[name](result) for name in METRIC_ORDER}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scalarization of the canonical metric vector."""
+
+    name: str
+    description: str
+    #: The metric whose value is the scalar score.
+    primary: str
+
+    def score(self, result: SimStats | FailedRun) -> float:
+        """Scalar score, lower is better (inf for a failed run)."""
+        return metric_vector(result)[self.primary]
+
+    def rank_vector(self, result: SimStats | FailedRun
+                    ) -> tuple[float, ...]:
+        """Primary metric first, then the others in canonical order.
+
+        Comparing these tuples (plus the candidate key as the final
+        component, appended by the tuner) is the tuner's total order.
+        """
+        metrics = metric_vector(result)
+        rest = tuple(metrics[name] for name in METRIC_ORDER
+                     if name != self.primary)
+        return (metrics[self.primary],) + rest
+
+    def to_json_dict(self) -> dict:
+        return {"name": self.name, "primary": self.primary}
+
+
+#: Built-in objectives, keyed by CLI name.
+OBJECTIVES: dict[str, Objective] = {
+    "kernel-time": Objective(
+        "kernel-time",
+        "minimize total kernel execution time",
+        "kernel_time_ns"),
+    "migrated-bytes": Objective(
+        "migrated-bytes",
+        "minimize bytes moved over PCI-e (H2D + D2H)",
+        "migrated_bytes"),
+    "far-faults": Objective(
+        "far-faults",
+        "minimize far-fault count",
+        "far_faults"),
+}
+
+
+def get_objective(name: str) -> Objective:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise TuneError(
+            f"unknown objective {name!r}; known: {known}"
+        ) from None
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) \
+        and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(points: Sequence[tuple[str, dict[str, float]]]
+                    ) -> list[str]:
+    """Keys of the non-dominated points, in deterministic order.
+
+    ``points`` is ``(key, metric-dict)`` pairs; the frontier is sorted
+    by the canonical metric vector then key, so equal inputs always
+    produce byte-identical card JSON.  Duplicate vectors are all kept
+    (neither strictly dominates the other).
+    """
+    vectors = {
+        key: tuple(metrics[name] for name in METRIC_ORDER)
+        for key, metrics in points
+    }
+    frontier = []
+    for key, vec in vectors.items():
+        if all(v == float("inf") for v in vec):
+            continue  # failed runs never reach the frontier
+        if any(_dominates(other, vec)
+               for other_key, other in vectors.items()
+               if other_key != key):
+            continue
+        frontier.append(key)
+    return sorted(frontier, key=lambda key: (vectors[key], key))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from ..errors import WorkloadError
 from .atax import AtaxWorkload
 from .backprop import BackpropWorkload
@@ -36,6 +38,34 @@ SUITE_ORDER = ("backprop", "pathfinder", "bfs", "hotspot", "nw", "srad",
                "gemm")
 
 
+def validate_scale(value: object, source: str = "scale") -> float:
+    """Coerce and validate a workload footprint scale.
+
+    A scale must be a finite number strictly greater than zero: zero and
+    negative values silently saturate every workload's minimum-page
+    floors (producing degenerate "suites" where all points coincide),
+    NaN/inf crash deep inside workload constructors, and non-numeric
+    strings arrive via the ``REPRO_BENCH_SCALE`` environment variable.
+    ``source`` names the offending knob in the error message.  Raises
+    :class:`~repro.errors.WorkloadError` (a ``ReproError``).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise WorkloadError(
+            f"{source} must be a number, got {value!r}"
+        )
+    try:
+        scale = float(value)
+    except ValueError:
+        raise WorkloadError(
+            f"{source} must be a number, got {value!r}"
+        ) from None
+    if not math.isfinite(scale):
+        raise WorkloadError(f"{source} must be finite, got {scale!r}")
+    if scale <= 0.0:
+        raise WorkloadError(f"{source} must be > 0, got {scale!r}")
+    return scale
+
+
 def make_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
     """Instantiate a registered workload by name."""
     try:
@@ -45,7 +75,7 @@ def make_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
         raise WorkloadError(
             f"unknown workload {name!r}; known: {known}"
         ) from None
-    return cls(scale=scale, **kwargs)
+    return cls(scale=validate_scale(scale), **kwargs)
 
 
 def default_suite(scale: float = 1.0) -> list[Workload]:

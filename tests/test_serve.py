@@ -335,7 +335,9 @@ def http_service(tmp_path):
     service.start()
     server = ServiceServer(service, port=0)
     server.start_background()
-    client = ServeClient(port=server.port, timeout=10.0)
+    # Fail-fast client: backpressure tests want to see the raw 429.
+    client = ServeClient(port=server.port, timeout=10.0,
+                         backpressure_retries=0)
     try:
         yield service, runner, client
     finally:
@@ -385,6 +387,12 @@ class TestHttpApi:
         assert metrics["serve.jobs_rejected_backpressure"] == 1
         assert metrics["serve.jobs_coalesced"] == 1
 
+        # Retry knobs are validated at construction.
+        with pytest.raises(ServeClientError):
+            ServeClient(backpressure_retries=-1)
+        with pytest.raises(ServeClientError):
+            ServeClient(retry_after_cap=0.0)
+
         # Result of a non-terminal job is a 409.
         with pytest.raises(ServeClientError) as excinfo:
             client.result(queued["id"])
@@ -403,6 +411,39 @@ class TestHttpApi:
         assert done["state"] == "done"
         assert {job["id"] for job in client.jobs()} == \
             {held["id"], queued["id"]}
+
+    def test_submit_retries_through_backpressure(self, http_service):
+        """A patient client rides out 429s via the Retry-After hint."""
+        service, runner, client = http_service
+        spec = {"name": "hotspot", "scale": SCALE}
+        client.submit(spec, seed=1)  # occupies the worker
+        assert runner.started.wait(30)
+        client.submit(spec, seed=2)  # fills the 1-slot queue
+
+        # Budget exhausted while the queue stays full: the last 429
+        # surfaces, and the server saw retries + 1 attempts.
+        impatient = ServeClient(port=client.port, timeout=10.0,
+                                backpressure_retries=2,
+                                retry_after_cap=0.01)
+        with pytest.raises(BackpressureError):
+            impatient.submit(spec, seed=3)
+        assert client.metrics()[
+            "serve.jobs_rejected_backpressure"] == 3
+
+        # A slot frees up mid-retry-loop: submit succeeds instead of
+        # raising on the first 429.
+        patient = ServeClient(port=client.port, timeout=10.0,
+                              backpressure_retries=50,
+                              retry_after_cap=0.05)
+        releaser = threading.Timer(0.1, runner.release)
+        releaser.start()
+        try:
+            accepted = patient.submit(spec, seed=3)
+        finally:
+            releaser.cancel()
+        assert accepted["state"] in ("queued", "running", "done")
+        done = client.wait(accepted["id"], timeout=30)
+        assert done["state"] == "done"
 
     def test_submit_during_drain_is_503(self, http_service):
         service, runner, client = http_service
