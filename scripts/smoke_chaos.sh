@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Service-level chaos smoke: run the `repro chaos` harness — a real
+# process-mode service with supervised workers — under (1) a
+# worker-kill profile and (2) a cache-corruption + journal-truncation
+# profile, requiring every recovery invariant to hold (no job lost, no
+# duplicate terminal state, byte-identical results, poison quarantine,
+# clean journal).  Finishes with the dedicated test module including
+# the chaos-marked process-fleet checks.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== chaos: worker-kill profile (crash recovery + lease requeue) =="
+python -m repro.cli chaos --workloads hotspot --scale 0.12 \
+    --seeds 1 2 3 --profile worker-kill --workers 2 \
+    --json > "$out_dir/kill.json"
+python - "$out_dir/kill.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["ok"], report["violations"]
+assert report["metrics"]["serve.worker_restarts"] >= 1, \
+    "profile injected no worker kills"
+print(f"worker-kill OK: {report['jobs_total']} jobs, "
+      f"{report['metrics']['serve.worker_restarts']} restarts, "
+      f"{report['metrics']['serve.lease_revocations']} revocations")
+EOF
+
+echo
+echo "== chaos: cache-corrupt profile (self-healing + journal quarantine) =="
+python -m repro.cli chaos --workloads hotspot --scale 0.12 \
+    --seeds 1 2 --profile cache-corrupt --workers 2 \
+    --json > "$out_dir/corrupt.json" 2> "$out_dir/corrupt.err"
+python - "$out_dir/corrupt.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["ok"], report["violations"]
+assert report["metrics"]["serve.cache_entries_quarantined"] >= 1, \
+    "no corrupt cache entry was quarantined"
+assert report["metrics"]["serve.journal_entries_quarantined"] >= 2, \
+    "planted corrupt journal entries were not quarantined"
+print(f"cache-corrupt OK: "
+      f"{report['metrics']['serve.cache_entries_quarantined']} cache + "
+      f"{report['metrics']['serve.journal_entries_quarantined']} journal "
+      "entries quarantined, results byte-identical")
+EOF
+
+echo
+echo "== chaos test module (incl. process-fleet checks) =="
+python -m pytest tests/test_chaos.py -q -m ""
+
+echo
+echo "chaos smoke OK"

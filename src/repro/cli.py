@@ -306,8 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="listen port (0 picks a free one; default: "
                               f"{SERVE_DEFAULT_PORT})")
     serve_p.add_argument("--jobs", type=int, default=2, metavar="N",
-                         help="worker threads executing jobs "
-                              "(default: 2)")
+                         help="workers executing jobs (default: 2)")
     serve_p.add_argument("--queue-limit", type=int, default=64,
                          metavar="N",
                          help="max queued jobs before submissions get "
@@ -315,9 +314,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--journal-dir", type=Path, default=None,
                          help="queued-job journal directory (default: "
                               "results/.servejournal)")
+    serve_p.add_argument("--worker-mode", default="process",
+                         choices=["process", "thread"],
+                         help="supervised worker processes (crash "
+                              "isolation, the default) or the legacy "
+                              "in-process thread pool")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         metavar="K",
+                         help="lease grants per job before a "
+                              "worker-killing job is quarantined "
+                              "(process mode; default: 3)")
+    serve_p.add_argument("--job-timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="kill a worker whose job runs longer "
+                              "than this (process mode; 0 disables)")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     add_cache_flags(serve_p)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="boot a process-mode service under an injected service "
+             "fault profile and assert the recovery invariants "
+             "(see docs/SERVICE.md)",
+    )
+    chaos_p.add_argument("--workloads", nargs="+", default=["hotspot"],
+                         choices=sorted(WORKLOAD_REGISTRY),
+                         help="job mix (default: hotspot)")
+    chaos_p.add_argument("--scale", type=float, default=0.12,
+                         help="workload scale (default: 0.12, small "
+                              "on purpose)")
+    chaos_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
+                         help="config seeds per workload; the "
+                              "profile's poison seeds are appended")
+    chaos_p.add_argument("--profile", default="worker-kill",
+                         help="service fault profile: a name "
+                              "(worker-kill, poison-job, slow-worker, "
+                              "cache-corrupt, mixed), key=value list, "
+                              "or JSON file (default: worker-kill)")
+    chaos_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker processes (default: 2)")
+    chaos_p.add_argument("--max-attempts", type=int, default=3,
+                         metavar="K",
+                         help="lease grants before quarantine "
+                              "(default: 3)")
+    chaos_p.add_argument("--job-timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="per-job deadline; required > 0 for "
+                              "stalling profiles (0 disables)")
+    chaos_p.add_argument("--deadline", type=float, default=120.0,
+                         help="wall seconds for all jobs to reach a "
+                              "terminal state (default: 120)")
+    chaos_p.add_argument("--dir", type=Path, default=None,
+                         help="keep the run's cache+journal here "
+                              "(default: a removed temp dir)")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a "
+                              "table")
+    chaos_p.add_argument("--verbose", action="store_true")
 
     def add_remote_flags(p) -> None:
         """Where submit/jobs find the server."""
@@ -701,7 +755,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import DEFAULT_JOURNAL_DIR, JobJournal, run_server
+    from .serve import (
+        DEFAULT_JOURNAL_DIR,
+        FleetOptions,
+        JobJournal,
+        run_server,
+    )
 
     _check_jobs(args.jobs)
     if args.queue_limit < 1:
@@ -719,7 +778,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache=_run_cache(args),
         journal=JobJournal(journal_dir),
         verbose=args.verbose,
+        worker_mode=args.worker_mode,
+        fleet=FleetOptions(max_attempts=args.max_attempts,
+                           job_timeout=args.job_timeout),
     )
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faultinject import load_service_profile
+    from .serve import run_chaos
+
+    _check_jobs(args.workers)
+    profile = load_service_profile(args.profile)
+    report = run_chaos(
+        workloads=args.workloads,
+        scale=args.scale,
+        seeds=args.seeds,
+        profile=profile,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout,
+        deadline=args.deadline,
+        root_dir=args.dir,
+        verbose=args.verbose,
+    )
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        print(report.to_table())
+    return 0 if report.ok else 1
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -882,6 +970,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_faults(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "submit":
         return cmd_submit(args)
     if args.command == "jobs":

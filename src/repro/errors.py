@@ -93,6 +93,32 @@ class QueueFullError(ServeError):
         super().__init__(message)
 
 
+class WorkerCrashError(ServeError):
+    """A worker process died or wedged while it held a job lease.
+
+    Raised inside the supervisor's dispatch loop when the worker's
+    process exits (crash/SIGKILL), its pipe closes, its heartbeat goes
+    silent, or its job deadline expires.  Carries the worker index and
+    whether the death was a *hang* (deadline/heartbeat kill by the
+    supervisor) rather than a spontaneous crash.
+    """
+
+    def __init__(self, message: str, worker: int = -1,
+                 hang: bool = False) -> None:
+        self.worker = worker
+        self.hang = hang
+        super().__init__(message)
+
+
+class PoisonJobError(ServeError):
+    """A job killed its worker on every attempt and was quarantined.
+
+    After ``max_attempts`` worker-killing executions the supervisor
+    fails the job cleanly with this error type (as a ``FailedRun``
+    payload) instead of crash-looping the fleet.
+    """
+
+
 class ServeClientError(ServeError):
     """An HTTP request to a simulation server failed.
 

@@ -17,16 +17,30 @@ degradation to on-demand paging, and a watchdog that aborts livelocked
 runs with a structured :class:`~repro.errors.WatchdogTimeout` instead of
 hanging.  With ``fault_profile=None`` every hook is a no-op and results
 are identical to a build without this package.
+
+The same philosophy extends one layer up:
+:class:`~repro.faultinject.service.ServiceFaultProfile` injects
+*service-level* faults — worker-process SIGKILL, wedged workers,
+cache-entry corruption, journal truncation — into the
+:mod:`repro.serve` fleet, driven by the ``repro chaos`` harness.
 """
 
 from .injector import FaultInjector
 from .profile import PROFILES, FaultProfile, load_profile
+from .service import (
+    SERVICE_PROFILES,
+    ServiceFaultProfile,
+    load_service_profile,
+)
 from .watchdog import Watchdog
 
 __all__ = [
     "FaultInjector",
     "FaultProfile",
     "PROFILES",
+    "SERVICE_PROFILES",
+    "ServiceFaultProfile",
     "Watchdog",
     "load_profile",
+    "load_service_profile",
 ]

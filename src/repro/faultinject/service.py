@@ -1,0 +1,217 @@
+"""Service-layer fault injection: kill, wedge, and corrupt the fleet.
+
+:mod:`repro.faultinject` so far injected faults *inside* one simulated
+run (PCI-e transfer failures, dropped far-fault notifications).  A
+:class:`ServiceFaultProfile` lifts the same idea one layer up, to the
+serving system itself: worker processes of the :mod:`repro.serve`
+fleet consult the profile and deterministically misbehave —
+
+* **SIGKILL at a given per-worker job count** (``kill_every_jobs``):
+  the worker dies *before* producing a result, exercising the
+  supervisor's crash detection, lease revocation, and requeue path;
+* **poison jobs** (``poison_seeds``): any cell whose config seed is
+  listed kills every worker that touches it, exercising the
+  poison-quarantine path (fail cleanly after K attempts instead of
+  crash-looping the fleet);
+* **wedged workers** (``stall_every_jobs``/``stall_seconds``): the
+  worker sleeps mid-job, exercising the job-deadline/heartbeat kill;
+* **cache-entry corruption** (``corrupt_cache_every``): the worker
+  truncates the entry it just stored, exercising the run cache's
+  quarantine-and-reexecute self-healing on the next read;
+* **journal truncation** (``truncate_journal_entries``): the chaos
+  harness plants that many corrupt journal files before boot,
+  exercising the journal's quarantine-on-replay path.
+
+Everything is counter- or membership-based (plus a ``seed`` for the
+harness's own draws), so a given profile produces the *same* fault
+sequence on every run — chaos tests are reproducible, exactly like the
+hardware-level profiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceFaultProfile:
+    """What goes wrong at the service layer, deterministically."""
+
+    #: Kill the worker (SIGKILL, no cleanup) when its per-lifetime job
+    #: counter reaches this value; the counter resets on respawn, so a
+    #: fleet under this fault keeps dying every N jobs.  0 disables.
+    kill_every_jobs: int = 0
+    #: Config seeds whose cells kill any worker executing them — the
+    #: deterministic "poison job".
+    poison_seeds: tuple[int, ...] = ()
+    #: Sleep ``stall_seconds`` before executing every Nth job per
+    #: worker (0 disables) — a wedged worker the supervisor must kill
+    #: via its job deadline.
+    stall_every_jobs: int = 0
+    stall_seconds: float = 30.0
+    #: Truncate the cache entry the worker just stored, on every Nth
+    #: store per worker (0 disables).
+    corrupt_cache_every: int = 0
+    #: Corrupt journal files the chaos harness plants before booting
+    #: the service (harness-level fault; workers ignore it).
+    truncate_journal_entries: int = 0
+    #: Seed for any randomized harness-side draws.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for name in ("kill_every_jobs", "stall_every_jobs",
+                     "corrupt_cache_every", "truncate_journal_entries"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"service fault profile {name} must be a "
+                    f"non-negative int, got {value!r}"
+                )
+        if not isinstance(self.stall_seconds, (int, float)) \
+                or self.stall_seconds < 0:
+            raise ConfigurationError(
+                f"service fault profile stall_seconds must be >= 0, "
+                f"got {self.stall_seconds!r}"
+            )
+        if not isinstance(self.poison_seeds, tuple) or not all(
+                isinstance(seed, int) for seed in self.poison_seeds):
+            raise ConfigurationError(
+                f"service fault profile poison_seeds must be a tuple "
+                f"of ints, got {self.poison_seeds!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(
+                "service fault profile seed must be an int"
+            )
+
+    @property
+    def injects_anything(self) -> bool:
+        return bool(self.kill_every_jobs or self.poison_seeds
+                    or self.stall_every_jobs or self.corrupt_cache_every
+                    or self.truncate_journal_entries)
+
+    # --- worker-side decisions (all pure functions of counters) -------------
+    def should_kill(self, job_index: int, config_seed: int) -> bool:
+        """Die before executing this job?  ``job_index`` is 1-based and
+        per worker lifetime."""
+        if config_seed in self.poison_seeds:
+            return True
+        return bool(self.kill_every_jobs) \
+            and job_index % self.kill_every_jobs == 0
+
+    def should_stall(self, job_index: int) -> bool:
+        return bool(self.stall_every_jobs) \
+            and job_index % self.stall_every_jobs == 0
+
+    def should_corrupt_store(self, store_index: int) -> bool:
+        """Corrupt the entry just written?  ``store_index`` is 1-based
+        and counts executed (non-cache-hit) stores per worker."""
+        return bool(self.corrupt_cache_every) \
+            and store_index % self.corrupt_cache_every == 0
+
+    # --- plumbing -----------------------------------------------------------
+    def replace(self, **changes: object) -> "ServiceFaultProfile":
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "ServiceFaultProfile":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown service fault profile fields: "
+                f"{sorted(unknown)}"
+            )
+        fields = dict(fields)
+        if "poison_seeds" in fields \
+                and isinstance(fields["poison_seeds"], list):
+            fields["poison_seeds"] = tuple(fields["poison_seeds"])
+        return cls(**fields)
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["poison_seeds"] = list(self.poison_seeds)
+        return data
+
+
+#: Named profiles for `repro chaos` and the CI smoke, graded by scope.
+SERVICE_PROFILES: dict[str, ServiceFaultProfile] = {
+    "worker-kill": ServiceFaultProfile(kill_every_jobs=2),
+    "poison-job": ServiceFaultProfile(poison_seeds=(1097,)),
+    "slow-worker": ServiceFaultProfile(stall_every_jobs=2,
+                                       stall_seconds=30.0),
+    "cache-corrupt": ServiceFaultProfile(corrupt_cache_every=1,
+                                         truncate_journal_entries=2),
+    "mixed": ServiceFaultProfile(kill_every_jobs=3,
+                                 poison_seeds=(1097,),
+                                 corrupt_cache_every=2,
+                                 truncate_journal_entries=1),
+}
+
+
+def _coerce(text: str) -> object:
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def load_service_profile(
+        spec: str | dict | ServiceFaultProfile,
+        seed: int | None = None) -> ServiceFaultProfile:
+    """Resolve a CLI/user spec into a validated service fault profile.
+
+    ``spec`` may be a :class:`ServiceFaultProfile`, a dict of fields, a
+    named profile (see :data:`SERVICE_PROFILES`), a JSON file path, or
+    an inline ``key=value[,key=value...]`` string.  ``seed`` overrides
+    the profile's seed when given.
+    """
+    if isinstance(spec, ServiceFaultProfile):
+        profile = spec
+    elif isinstance(spec, dict):
+        profile = ServiceFaultProfile.from_dict(spec)
+    elif spec in SERVICE_PROFILES:
+        profile = SERVICE_PROFILES[spec]
+    elif "=" in spec:
+        fields: dict[str, object] = {}
+        for pair in spec.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad service fault profile assignment {pair!r}"
+                )
+            key = key.strip()
+            if key == "poison_seeds":
+                fields[key] = tuple(
+                    int(s) for s in value.split("+") if s)
+            else:
+                fields[key] = _coerce(value.strip())
+        profile = ServiceFaultProfile.from_dict(fields)
+    else:
+        path = Path(spec)
+        if not path.is_file():
+            raise ConfigurationError(
+                f"service fault profile {spec!r} is neither a named "
+                f"profile ({', '.join(sorted(SERVICE_PROFILES))}), a "
+                "key=value list, nor a JSON file"
+            )
+        fields = json.loads(path.read_text())
+        if not isinstance(fields, dict):
+            raise ConfigurationError(
+                f"service fault profile file {spec!r} must hold a "
+                "JSON object"
+            )
+        profile = ServiceFaultProfile.from_dict(fields)
+    if seed is not None and seed != profile.seed:
+        profile = profile.replace(seed=seed)
+    return profile

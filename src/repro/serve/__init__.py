@@ -1,14 +1,23 @@
 """Async simulation service: job queue, backpressure, cache-aware reuse.
 
 ``repro serve`` turns the one-shot simulator into a resident daemon:
-clients POST simulation jobs to a JSON HTTP API, a bounded worker pool
-executes them through the sweep layer's single-cell seam (sharing the
-content-addressed run cache, so identical submissions coalesce and
-repeats return without simulating), a full queue pushes back with
-HTTP 429, and SIGTERM drains gracefully — running jobs finish, queued
-jobs persist in a journal and resume on restart.  See docs/SERVICE.md.
+clients POST simulation jobs to a JSON HTTP API, a supervised fleet of
+worker *processes* executes them through the sweep layer's single-cell
+seam (sharing the content-addressed run cache, so identical
+submissions coalesce and repeats return without simulating), a full
+queue pushes back with HTTP 429, and SIGTERM drains gracefully —
+running jobs finish, queued jobs persist in a journal and resume on
+restart.
+
+The fleet survives its own workers: a crashed or wedged process is
+detected (pipe EOF, heartbeat silence, job deadline), its job lease is
+revoked and the job requeued with bounded backoff, and a job that
+keeps killing workers is quarantined as a clean failure after
+``max_attempts`` tries.  ``repro chaos`` injects exactly those faults
+and asserts the recovery invariants.  See docs/SERVICE.md.
 """
 
+from .chaos import ChaosReport, build_chaos_cells, run_chaos
 from .client import DEFAULT_PORT, ServeClient
 from .journal import DEFAULT_JOURNAL_DIR, JOURNAL_FORMAT, JobJournal
 from .queue import (
@@ -22,15 +31,24 @@ from .queue import (
     Job,
     JobQueue,
 )
-from .server import ServiceServer, SimulationService, run_server
+from .server import (
+    WORKER_MODES,
+    ServiceServer,
+    SimulationService,
+    run_server,
+)
+from .supervisor import FleetOptions, Supervisor
+from .worker import WorkerProcess
 
 __all__ = [
     "ACTIVE_STATES",
     "CANCELLED",
+    "ChaosReport",
     "DEFAULT_JOURNAL_DIR",
     "DEFAULT_PORT",
     "DONE",
     "FAILED",
+    "FleetOptions",
     "JOURNAL_FORMAT",
     "Job",
     "JobJournal",
@@ -40,6 +58,10 @@ __all__ = [
     "ServeClient",
     "ServiceServer",
     "SimulationService",
+    "Supervisor",
     "TERMINAL_STATES",
-    "run_server",
+    "WORKER_MODES",
+    "WorkerProcess",
+    "build_chaos_cells",
+    "run_chaos",
 ]

@@ -1,0 +1,371 @@
+"""The service-level chaos harness behind ``repro chaos``.
+
+One chaos run boots a real process-mode :class:`SimulationService`
+(supervised worker fleet, journal, run cache) with a
+:class:`~repro.faultinject.service.ServiceFaultProfile` installed in
+the workers, pushes a small deterministic job mix through it, and then
+*asserts the recovery invariants* instead of merely observing them:
+
+1. **No job lost** — every submitted job reaches a terminal state
+   before the deadline, even while workers are being SIGKILLed under
+   it.
+2. **No duplicate terminal state** — job ids are unique and
+   ``jobs_done + jobs_failed`` equals the number of unique jobs: a
+   revoked-and-requeued job completes exactly once.
+3. **Byte-identical results** — every non-poison job's served stats
+   equal a fresh fault-free in-process run of the same cell
+   (``repro run --json`` parity), byte for byte after canonical JSON
+   encoding.  Crash-retry, cache self-healing, and process hops must
+   be invisible in the payload.  Every non-poison cell is submitted a
+   *second time* after the first wave completes, so the cache-reuse
+   path runs under fault too: a profile that corrupts stored entries
+   forces the quarantine-and-reexecute self-healing, and the healed
+   result must still match.
+4. **Poison quarantine** — every poison job (config seed listed in
+   ``poison_seeds``) ends ``failed`` with a ``PoisonJobError`` payload
+   after exactly ``max_attempts`` lease grants; nothing crash-loops.
+5. **Clean journal** — after the drain, the journal owes nothing: no
+   main entries, no lease WAL entries.  Pre-planted corrupt journal
+   files (``truncate_journal_entries``) must all have been quarantined
+   at boot, not replayed and not fatal.
+
+A report with an empty ``violations`` list is the harness's definition
+of "the fleet survived"; the CLI exits non-zero otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.report import format_table
+from ..config import oversubscribed
+from ..errors import ServeError
+from ..faultinject.service import ServiceFaultProfile
+from ..stats import FailedRun
+from ..sweep import RunCache, SweepCell, execute_cell
+from ..workloads import make_workload
+from .journal import JOURNAL_FORMAT, JobJournal
+from .queue import FAILED, Job
+from .server import SimulationService
+from .supervisor import FleetOptions
+
+#: Default per-run wall deadline (seconds) for all jobs to go terminal.
+DEFAULT_DEADLINE = 120.0
+
+
+def build_chaos_cells(
+    workloads: list[str],
+    scale: float,
+    seeds: list[int],
+    profile: ServiceFaultProfile,
+    oversubscription: float = 110.0,
+) -> list[SweepCell]:
+    """The deterministic job mix: workloads x (seeds + poison seeds).
+
+    Poison seeds from the profile are appended so the quarantine path
+    is always exercised when the profile defines one.
+    """
+    all_seeds = list(seeds)
+    for seed in profile.poison_seeds:
+        if seed not in all_seeds:
+            all_seeds.append(seed)
+    cells = []
+    for name in workloads:
+        workload = make_workload(name, scale=scale)
+        for seed in all_seeds:
+            cells.append(SweepCell(
+                workload_spec={"name": name, "scale": scale},
+                config=oversubscribed(
+                    workload.footprint_bytes, oversubscription,
+                    seed=seed,
+                ),
+            ))
+    return cells
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run injected, observed, and concluded."""
+
+    profile: ServiceFaultProfile
+    jobs_total: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    jobs_rerun: int = 0
+    poison_jobs: int = 0
+    planted_journal_corruption: int = 0
+    parity_checked: int = 0
+    metrics: dict = field(default_factory=dict)
+    #: Invariant violations; empty means the fleet survived.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "profile": self.profile.to_dict(),
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_rerun": self.jobs_rerun,
+            "poison_jobs": self.poison_jobs,
+            "planted_journal_corruption":
+                self.planted_journal_corruption,
+            "parity_checked": self.parity_checked,
+            "metrics": self.metrics,
+            "violations": self.violations,
+        }
+
+    def to_table(self) -> str:
+        rows = [
+            ["jobs submitted", self.jobs_total],
+            ["jobs done", self.jobs_done],
+            ["jobs failed", self.jobs_failed],
+            ["reuse-wave jobs", self.jobs_rerun],
+            ["poison jobs quarantined",
+             self.metrics.get("serve.jobs_quarantined", 0)],
+            ["worker restarts",
+             self.metrics.get("serve.worker_restarts", 0)],
+            ["lease revocations",
+             self.metrics.get("serve.lease_revocations", 0)],
+            ["cache entries quarantined",
+             self.metrics.get("serve.cache_entries_quarantined", 0)],
+            ["journal entries quarantined",
+             self.metrics.get("serve.journal_entries_quarantined", 0)],
+            ["parity checks passed",
+             self.parity_checked - sum(
+                 1 for v in self.violations if "parity" in v)],
+            ["invariant violations", len(self.violations)],
+        ]
+        lines = [format_table(["chaos outcome", "value"], rows,
+                              title="chaos run")]
+        for violation in self.violations:
+            lines.append(f"VIOLATION: {violation}")
+        lines.append("chaos: PASS — all recovery invariants hold"
+                     if self.ok else "chaos: FAIL")
+        return "\n".join(lines)
+
+
+def _plant_corrupt_journal(journal_dir: Path, count: int) -> int:
+    """Drop ``count`` torn/garbage journal files for boot to survive."""
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    for index in range(count):
+        path = journal_dir / f"zz-corrupt-{index:02d}.json"
+        if index % 2 == 0:
+            # Torn write: valid prefix, truncated mid-document.
+            document = json.dumps({"format": JOURNAL_FORMAT,
+                                   "id": f"torn-{index}", "seq": 10**6})
+            path.write_text(document[:len(document) // 2])
+        else:
+            path.write_text("not json at all\x00")
+    return count
+
+
+def run_chaos(
+    workloads: list[str],
+    scale: float = 0.12,
+    seeds: list[int] | None = None,
+    profile: ServiceFaultProfile | None = None,
+    workers: int = 2,
+    max_attempts: int = 3,
+    job_timeout: float = 0.0,
+    deadline: float = DEFAULT_DEADLINE,
+    root_dir: str | Path | None = None,
+    verbose: bool = False,
+) -> ChaosReport:
+    """Run the whole harness once and return the invariant report.
+
+    ``root_dir`` holds the run's cache and journal (a temp dir is
+    created and removed when None).  ``job_timeout`` must be > 0 when
+    the profile stalls workers, or the stall would win.
+    """
+    profile = profile or ServiceFaultProfile()
+    seeds = list(seeds) if seeds else [1, 2]
+    if profile.stall_every_jobs and job_timeout <= 0:
+        raise ServeError(
+            "profile stalls workers; a --job-timeout > 0 is required "
+            "so the supervisor can kill them"
+        )
+
+    own_root = root_dir is None
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if own_root \
+        else Path(root_dir)
+    report = ChaosReport(profile=profile)
+    try:
+        journal_dir = root / "journal"
+        report.planted_journal_corruption = _plant_corrupt_journal(
+            journal_dir, profile.truncate_journal_entries)
+
+        fleet = FleetOptions(
+            max_attempts=max_attempts,
+            job_timeout=job_timeout,
+            heartbeat_timeout=max(5.0, job_timeout * 2) if job_timeout
+            else 30.0,
+            heartbeat_interval=0.1,
+            backoff_base=0.01,
+            backoff_cap=0.1,
+            fault_profile=profile if profile.injects_anything else None,
+        )
+        service = SimulationService(
+            jobs=workers,
+            cache=RunCache(root / "cache"),
+            journal=JobJournal(journal_dir),
+            verbose=verbose,
+            worker_mode="process",
+            fleet=fleet,
+        )
+        service.start()
+
+        cells = build_chaos_cells(workloads, scale, seeds, profile)
+        jobs: list[Job] = []
+        for cell in cells:
+            job, coalesced = service.submit(cell)
+            if not coalesced:
+                jobs.append(job)
+        report.jobs_total = len(jobs)
+        report.poison_jobs = sum(
+            1 for job in jobs
+            if job.cell.config.seed in profile.poison_seeds)
+
+        for job in jobs:
+            if not job.wait(timeout=deadline):
+                report.violations.append(
+                    f"lost job: {job.id} not terminal within "
+                    f"{deadline:g}s (state {job.state!r})"
+                )
+
+        # Second wave: resubmit every non-poison cell.  The first
+        # wave's jobs are terminal, so these are fresh jobs that
+        # exercise the reuse path — a cache hit normally, or
+        # quarantine-and-reexecute when the profile corrupted the
+        # stored entry.
+        rerun: list[Job] = []
+        for cell in cells:
+            if cell.config.seed in profile.poison_seeds:
+                continue
+            job, coalesced = service.submit(cell)
+            if not coalesced:
+                rerun.append(job)
+        report.jobs_rerun = len(rerun)
+        for job in rerun:
+            if not job.wait(timeout=deadline):
+                report.violations.append(
+                    f"lost job: {job.id} (reuse wave) not terminal "
+                    f"within {deadline:g}s (state {job.state!r})"
+                )
+        jobs.extend(rerun)
+        report.jobs_total = len(jobs)
+
+        service.drain(timeout=deadline)
+        report.metrics = service.metrics_snapshot()
+        _check_invariants(report, service, jobs, profile, max_attempts)
+        if verbose:
+            print(f"[chaos] {report.jobs_total} jobs, "
+                  f"{len(report.violations)} violation(s)",
+                  file=sys.stderr)
+    finally:
+        if own_root:
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+def _check_invariants(report: ChaosReport, service: SimulationService,
+                      jobs: list[Job], profile: ServiceFaultProfile,
+                      max_attempts: int) -> None:
+    """Fill ``report`` with terminal counts and invariant violations."""
+    # -- no duplicate terminal state ------------------------------------
+    ids = [job.id for job in jobs]
+    if len(set(ids)) != len(ids):
+        report.violations.append("duplicate job ids issued")
+    terminal = [job for job in jobs if job.is_terminal]
+    report.jobs_done = sum(
+        1 for job in terminal if not isinstance(job.result, FailedRun))
+    report.jobs_failed = sum(
+        1 for job in terminal if isinstance(job.result, FailedRun))
+    if report.jobs_done + report.jobs_failed != len(set(ids)) \
+            and not any("lost job" in v for v in report.violations):
+        report.violations.append(
+            f"terminal-state accounting broken: "
+            f"{report.jobs_done} done + {report.jobs_failed} failed "
+            f"!= {len(set(ids))} unique jobs"
+        )
+
+    # -- poison quarantine, result parity -------------------------------
+    for job in jobs:
+        if not job.is_terminal:
+            continue
+        poison = job.cell.config.seed in profile.poison_seeds
+        if poison:
+            ok = (job.state == FAILED
+                  and isinstance(job.result, FailedRun)
+                  and job.result.error_type == "PoisonJobError")
+            if not ok:
+                report.violations.append(
+                    f"poison job {job.id} not quarantined: state "
+                    f"{job.state!r}, result "
+                    f"{type(job.result).__name__}"
+                )
+            elif job.attempts != max_attempts:
+                report.violations.append(
+                    f"poison job {job.id} quarantined after "
+                    f"{job.attempts} attempt(s), expected "
+                    f"{max_attempts}"
+                )
+            continue
+        if isinstance(job.result, FailedRun):
+            report.violations.append(
+                f"non-poison job {job.id} failed: "
+                f"{job.result.error_type}: {job.result.message}"
+            )
+            continue
+        # Byte-identical to a fresh fault-free in-process run.
+        report.parity_checked += 1
+        baseline, _ = execute_cell(job.cell, cache=None)
+        served = json.dumps(job.result.to_json_dict(), sort_keys=True)
+        expected = json.dumps(baseline.to_json_dict(), sort_keys=True)
+        if served != expected:
+            report.violations.append(
+                f"parity broken: job {job.id} served stats differ "
+                "from a fresh fault-free run"
+            )
+
+    # -- clean journal ---------------------------------------------------
+    journal = service.journal
+    leftover = [path.name for path in journal.root.glob("*.json")]
+    if leftover:
+        report.violations.append(
+            f"journal not clean after drain: {sorted(leftover)}")
+    leases = journal.load_leases()
+    if leases:
+        report.violations.append(
+            f"lease WAL not clean after drain: "
+            f"{sorted(entry['id'] for entry in leases)}"
+        )
+    quarantined = report.metrics.get(
+        "serve.journal_entries_quarantined", 0)
+    if quarantined < report.planted_journal_corruption:
+        report.violations.append(
+            f"only {quarantined} of "
+            f"{report.planted_journal_corruption} planted corrupt "
+            "journal entries were quarantined"
+        )
+
+    # -- cache self-healing ----------------------------------------------
+    # With every store corrupted, the reuse wave must have tripped the
+    # quarantine-and-reexecute path at least once (the parity check
+    # above already proved the healed results are right).
+    if profile.corrupt_cache_every == 1 and report.jobs_rerun \
+            and not report.metrics.get(
+                "serve.cache_entries_quarantined", 0):
+        report.violations.append(
+            "profile corrupts every cache store, the reuse wave ran, "
+            "but no cache entry was quarantined"
+        )

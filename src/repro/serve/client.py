@@ -22,6 +22,16 @@ server-suggested interval (capped at ``retry_after_cap`` seconds) each
 time, and only raises :class:`BackpressureError` once the budget is
 exhausted.  Pass ``backpressure_retries=0`` to fail fast on the first
 429 (the old behaviour).
+
+Connection-level flakiness is handled the same opt-in way: with
+``connect_retries > 0``, a refused or reset connection — the daemon
+restarting after a crash, or its listen backlog momentarily full — is
+retried with capped exponential backoff before
+:class:`~repro.errors.ServeClientError` is raised.  The default (0)
+keeps the historical fail-fast behaviour: a typo'd port should not
+take ``connect_retries`` sleeps to report.  Timeouts and other
+transport errors are never retried — a request that may have *reached*
+the server is not known to be safe to repeat.
 """
 
 from __future__ import annotations
@@ -42,7 +52,8 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  timeout: float = 30.0, backpressure_retries: int = 5,
-                 retry_after_cap: float = 2.0) -> None:
+                 retry_after_cap: float = 2.0, connect_retries: int = 0,
+                 connect_backoff: float = 0.05) -> None:
         if backpressure_retries < 0:
             raise ServeClientError(
                 f"backpressure_retries must be >= 0, got "
@@ -52,15 +63,47 @@ class ServeClient:
             raise ServeClientError(
                 f"retry_after_cap must be > 0, got {retry_after_cap}"
             )
+        if connect_retries < 0:
+            raise ServeClientError(
+                f"connect_retries must be >= 0, got {connect_retries}"
+            )
+        if connect_backoff < 0:
+            raise ServeClientError(
+                f"connect_backoff must be >= 0, got {connect_backoff}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
         self.backpressure_retries = backpressure_retries
         self.retry_after_cap = retry_after_cap
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
 
     # --- transport ---------------------------------------------------------
     def _request(self, method: str, path: str,
                  body: dict | None = None) -> dict:
+        """One logical request, with opt-in connect-level retries.
+
+        Only ``ConnectionRefusedError`` / ``ConnectionResetError`` are
+        retried (the request provably never completed); a timeout or
+        any other transport failure raises immediately.
+        """
+        for attempt in range(self.connect_retries):
+            try:
+                return self._request_once(method, path, body)
+            except (ConnectionRefusedError, ConnectionResetError):
+                time.sleep(min(self.connect_backoff * 2 ** attempt,
+                               1.0))
+        try:
+            return self._request_once(method, path, body)
+        except (ConnectionRefusedError, ConnectionResetError) as exc:
+            raise ServeClientError(
+                f"cannot reach http://{self.host}:{self.port} after "
+                f"{self.connect_retries + 1} attempt(s): {exc}"
+            ) from None
+
+    def _request_once(self, method: str, path: str,
+                      body: dict | None = None) -> dict:
         payload = None if body is None \
             else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload \
@@ -73,6 +116,9 @@ class ServeClient:
                                    headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
+            except (ConnectionRefusedError, ConnectionResetError):
+                # Surfaced raw so _request can decide to retry.
+                raise
             except OSError as exc:
                 raise ServeClientError(
                     f"cannot reach http://{self.host}:{self.port}: {exc}"

@@ -4,12 +4,14 @@ A :class:`Job` wraps one :class:`~repro.sweep.cells.SweepCell` with a
 request lifecycle::
 
     queued --> running --> done | failed
-       \\--> cancelled
+       \\--> cancelled       \\--> queued   (lease revoked: worker died)
 
 Transitions outside those edges raise
 :class:`~repro.errors.JobStateError` — a running job cannot be
 cancelled (the simulator has no preemption point) and a terminal job
-never changes again.
+never changes again.  The ``running -> queued`` back-edge exists only
+for the supervisor's lease-revocation path: a job whose worker process
+died is requeued (ahead of the line) and retried under its original id.
 
 The :class:`JobQueue` is the admission-control heart of the service:
 
@@ -48,10 +50,12 @@ DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
-#: Legal state-machine edges; anything else is a JobStateError.
+#: Legal state-machine edges; anything else is a JobStateError.  The
+#: RUNNING -> QUEUED back-edge is the supervisor's lease-revocation
+#: path (worker death), never a client-visible operation.
 _TRANSITIONS = {
     QUEUED: {RUNNING, CANCELLED},
-    RUNNING: {DONE, FAILED},
+    RUNNING: {DONE, FAILED, QUEUED},
     DONE: set(),
     FAILED: set(),
     CANCELLED: set(),
@@ -76,6 +80,9 @@ class Job:
     result: SimStats | FailedRun | None = None
     #: Whether the result came from the run cache without executing.
     cache_hit: bool | None = None
+    #: Worker-process lease grants this job has consumed (0 until the
+    #: supervisor first leases it; survives restarts via the lease WAL).
+    attempts: int = 0
     #: ``time.monotonic()`` timestamps for service-latency metrics.
     submitted_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
@@ -98,11 +105,23 @@ class Job:
         """Move to ``state`` or raise :class:`JobStateError`.
 
         Callers must hold the owning queue's lock; the method only
-        enforces the edge set and stamps timestamps.
+        enforces the edge set and stamps timestamps.  An illegal
+        transition — including any attempt to leave a terminal state —
+        is refused with an error naming both states and the legal
+        edges, never applied silently.
         """
-        if state not in _TRANSITIONS[self.state]:
+        if state not in _TRANSITIONS:
             raise JobStateError(
-                f"job {self.id} cannot go {self.state!r} -> {state!r}"
+                f"job {self.id}: unknown target state {state!r} "
+                f"(known: {', '.join(sorted(_TRANSITIONS))})"
+            )
+        if state not in _TRANSITIONS[self.state]:
+            allowed = ", ".join(sorted(_TRANSITIONS[self.state])) \
+                or "none (terminal)"
+            raise JobStateError(
+                f"illegal transition for job {self.id}: "
+                f"{self.state!r} -> {state!r} (legal from "
+                f"{self.state!r}: {allowed})"
             )
         self.state = state
         if state == RUNNING:
@@ -131,6 +150,7 @@ class Job:
             "seq": self.seq,
             "key": self.key,
             "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
         }
         if isinstance(self.result, FailedRun):
             out["error"] = {"type": self.result.error_type,
@@ -220,6 +240,22 @@ class JobQueue:
             job = self._waiting.popleft()
             job.advance(RUNNING)
             return job
+
+    def requeue(self, job: Job) -> None:
+        """Return a *running* job to the front of the queue.
+
+        The supervisor's lease-revocation path: the job's worker died,
+        so the job goes back to waiting — ahead of newer submissions to
+        bound its latency — and will be retried under its original id.
+        Deliberately ignores the capacity bound (the job was already
+        admitted) and the closed flag (a crash during drain must not
+        lose the job; it stays queued + journaled for the next
+        generation).
+        """
+        with self._cond:
+            job.advance(QUEUED)
+            self._waiting.appendleft(job)
+            self._cond.notify()
 
     def complete(self, job: Job, result: SimStats | FailedRun,
                  cache_hit: bool) -> None:

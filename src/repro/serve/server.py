@@ -4,26 +4,32 @@
 
 * admission through the bounded, coalescing
   :class:`~repro.serve.queue.JobQueue` (full queue -> 429 upstream),
-* a pool of worker *threads*, each running one cell at a time through
-  the sweep layer's single-cell seam
-  (:func:`repro.sweep.execute_cell`) — so the service shares the
-  content-addressed run cache with every CLI invocation, identical
-  submissions coalesce, and cache hits complete without simulating,
+* an execution backend — either the classic pool of worker *threads*
+  (each running one cell at a time through the sweep layer's
+  single-cell seam, :func:`repro.sweep.execute_cell`) or, the default
+  for ``repro serve``, a **supervised fleet of worker processes**
+  (:class:`~repro.serve.supervisor.Supervisor`): crash/hang detection
+  via heartbeats and job deadlines, job leases revoked and requeued
+  with bounded backoff when a worker dies, poison jobs quarantined
+  after ``max_attempts`` worker-killing executions, per-worker lease
+  WALs replayed on worker death and daemon restart,
 * metrics through a :class:`~repro.obs.metrics.MetricsRegistry`
-  (queue depth, running jobs, cache hit/miss, jobs served, p50/p95
-  service latency) exported verbatim at ``GET /v1/metrics``,
+  (queue depth, running jobs, cache hit/miss, jobs served, worker
+  restarts, lease revocations, quarantine counters, p50/p95 service
+  latency) exported verbatim at ``GET /v1/metrics``,
 * a write-ahead :class:`~repro.serve.journal.JobJournal` so queued work
-  survives a restart,
+  survives a restart (corrupt entries quarantined, never fatal),
 * graceful drain: :meth:`drain` stops admissions, lets running jobs
   finish, and leaves queued jobs journaled for the next generation.
 
-Threads (not processes) are the right pool here: a resident server
-amortizes module import and cache warmth, each job is a single
-in-process simulation exactly like the CLI's serial path (determinism
-is per-cell reseeding, already guaranteed by ``execute_cell``), and the
-GIL cost is acceptable because the paper-scale cells are seconds long
-and the API work is IO.  ``repro serve`` composes the service with
-:class:`ThreadingHTTPServer` and SIGTERM/SIGINT handlers.
+Why both backends?  Threads amortize imports and share cache warmth,
+and deterministic unit tests inject gated runners there.  But threads
+share a fate: one segfaulting or wedged cell takes every in-flight job
+with it.  The process fleet isolates that blast radius — a worker
+death costs one lease revocation and one respawn, not the daemon —
+which is what lets ``repro serve`` stay up under the chaos harness
+(``repro chaos``).  Results are byte-identical either way: workers
+re-seed per cell from the content hash exactly like the serial path.
 """
 
 from __future__ import annotations
@@ -34,21 +40,83 @@ import threading
 from http.server import ThreadingHTTPServer
 
 from .. import __version__
-from ..errors import QueueFullError, ServeError
+from ..errors import QueueFullError, ServeError, WorkerCrashError
 from ..obs.metrics import MetricsRegistry
 from ..stats import FailedRun
 from ..sweep import RunCache, SweepCell, execute_cell
 from .api import make_handler
 from .journal import JobJournal
 from .queue import Job, JobQueue
+from .supervisor import FleetOptions, Supervisor
+
+#: Execution backends selectable via ``worker_mode``.
+WORKER_MODES = ("thread", "process")
+
+
+class _ThreadBackend:
+    """The classic worker-thread pool (also the test seam).
+
+    ``runner`` is the execution hook: ``cell -> (result, cache_hit)``.
+    The default is :func:`repro.sweep.execute_cell` bound to the
+    service cache; tests inject gated runners to hold jobs in flight
+    deterministically.
+    """
+
+    def __init__(self, service: "SimulationService", jobs: int,
+                 runner) -> None:
+        self.service = service
+        self._runner = runner or (
+            lambda cell: execute_cell(cell, cache=service.cache))
+        self._threads = [
+            threading.Thread(target=self._work, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(jobs)
+        ]
+        self._idle = threading.Semaphore(0)
+        self._drained = False
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def descriptor(self) -> dict:
+        return {"worker_mode": "thread"}
+
+    def _work(self) -> None:
+        service = self.service
+        while True:
+            job = service.queue.take()
+            if job is None:
+                self._idle.release()
+                return
+            job.attempts += 1
+            service.sample_gauges()
+            try:
+                result, cache_hit = self._runner(job.cell)
+            except Exception as exc:  # noqa: BLE001 — keep serving
+                result = FailedRun(
+                    job.cell.workload_spec.get("name", "?"),
+                    type(exc).__name__, str(exc))
+                cache_hit = False
+            service.finish_job(job, result, cache_hit)
+            service.sample_gauges()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        if self._drained:
+            return True
+        done = True
+        for _ in self._threads:
+            done = self._idle.acquire(timeout=timeout) and done
+        self._drained = done
+        return done
 
 
 class SimulationService:
     """Job admission, execution, metrics, and drain — no HTTP in here.
 
-    ``runner`` is the execution seam: ``cell -> (result, cache_hit)``.
-    The default is :func:`repro.sweep.execute_cell` bound to ``cache``;
-    tests inject gated runners to hold jobs in flight deterministically.
+    ``worker_mode`` selects the execution backend: ``"thread"`` (the
+    in-process pool; forced whenever a ``runner`` is injected) or
+    ``"process"`` (the supervised fleet, configured via ``fleet``).
     """
 
     def __init__(
@@ -59,23 +127,34 @@ class SimulationService:
         journal: JobJournal | None = None,
         runner=None,
         verbose: bool = False,
+        worker_mode: str = "thread",
+        fleet: FleetOptions | None = None,
     ) -> None:
         if jobs < 1:
             raise ServeError(f"worker count must be >= 1, got {jobs}")
+        if worker_mode not in WORKER_MODES:
+            raise ServeError(
+                f"worker_mode must be one of {WORKER_MODES}, got "
+                f"{worker_mode!r}"
+            )
+        if runner is not None and worker_mode == "process":
+            raise ServeError(
+                "an injected runner implies thread mode; it cannot be "
+                "shipped to worker processes"
+            )
         self.cache = cache
         self.journal = journal
         self.verbose = verbose
+        self.worker_mode = worker_mode
+        self.jobs = jobs
         self.queue = JobQueue(capacity=queue_limit)
-        self._runner = runner or (
-            lambda cell: execute_cell(cell, cache=self.cache))
-        self._workers = [
-            threading.Thread(target=self._work, name=f"serve-worker-{i}",
-                             daemon=True)
-            for i in range(jobs)
-        ]
+        if worker_mode == "process":
+            self._backend: Supervisor | _ThreadBackend = Supervisor(
+                self, jobs=jobs, options=fleet)
+        else:
+            self._backend = _ThreadBackend(self, jobs=jobs, runner=runner)
         self._started = False
         self._draining = threading.Event()
-        self._idle = threading.Semaphore(0)
         self._drained = False
 
         registry = MetricsRegistry()
@@ -100,6 +179,21 @@ class SimulationService:
             "serve.cache_hits", "jobs served from the run cache")
         self._m_cache_misses = registry.counter(
             "serve.cache_misses", "jobs that executed a simulation")
+        self._m_worker_restarts = registry.counter(
+            "serve.worker_restarts",
+            "worker processes respawned after crash/hang")
+        self._m_lease_revocations = registry.counter(
+            "serve.lease_revocations",
+            "job leases revoked because their worker died")
+        self._m_quarantined = registry.counter(
+            "serve.jobs_quarantined",
+            "poison jobs failed cleanly after max_attempts worker kills")
+        self._m_journal_quarantined = registry.counter(
+            "serve.journal_entries_quarantined",
+            "corrupt journal entries moved aside during replay")
+        self._m_cache_quarantined = registry.counter(
+            "serve.cache_entries_quarantined",
+            "corrupt run-cache entries moved aside and re-executed")
         self._g_depth = registry.gauge(
             "serve.queue_depth", "jobs waiting for a worker")
         self._g_running = registry.gauge(
@@ -110,52 +204,77 @@ class SimulationService:
 
     # --- lifecycle ---------------------------------------------------------
     def start(self) -> int:
-        """Replay the journal and start the workers; returns the number
-        of resumed jobs."""
+        """Replay the journal (and lease WALs) and start the backend;
+        returns the number of resumed jobs.
+
+        Lease entries persisted by a previous generation restore each
+        replayed job's attempt count — a poison job that took the whole
+        daemon down resumes with its strikes intact — and are then
+        cleared (their worker processes are gone).
+        """
         resumed = 0
         if self.journal is not None:
+            attempts = {entry["id"]: entry["attempt"]
+                        for entry in self.journal.load_leases()}
+            self.journal.clear_leases()
             for job_id, cell in self.journal.load():
                 job, coalesced = self.queue.submit(cell, job_id=job_id)
                 if not coalesced:
                     resumed += 1
+                    job.attempts = attempts.get(job_id, 0)
             self._m_resumed.inc(resumed)
-        self._sample_gauges()
-        for worker in self._workers:
-            worker.start()
+            self._m_journal_quarantined.inc(self.journal.quarantined)
+        self.sample_gauges()
+        self._backend.start()
         self._started = True
         return resumed
 
-    def _work(self) -> None:
-        while True:
-            job = self.queue.take()
-            if job is None:
-                self._idle.release()
-                return
-            self._sample_gauges()
-            try:
-                result, cache_hit = self._runner(job.cell)
-            except Exception as exc:  # noqa: BLE001 — keep serving
-                result = FailedRun(
-                    job.cell.workload_spec.get("name", "?"),
-                    type(exc).__name__, str(exc))
-                cache_hit = False
-            # Forget *before* publishing the terminal state, so "job is
-            # terminal" implies "journal entry gone" for every observer.
-            # A crash inside this window loses only the unpublished
-            # result; the client's resubmission becomes a cache hit.
-            if self.journal is not None:
-                self.journal.forget(job.id)
-            self.queue.complete(job, result, cache_hit)
-            if isinstance(result, FailedRun):
-                self._m_failed.inc()
-            else:
-                self._m_done.inc()
-            if cache_hit:
-                self._m_cache_hits.inc()
-            else:
-                self._m_cache_misses.inc()
-            self._h_latency.observe(job.service_latency_ns())
-            self._sample_gauges()
+    # --- backend callbacks --------------------------------------------------
+    def finish_job(self, job: Job, result, cache_hit: bool) -> None:
+        """Publish one job's terminal state (both backends land here).
+
+        Forgets *before* publishing the terminal state, so "job is
+        terminal" implies "journal entry gone" for every observer.  A
+        crash inside this window loses only the unpublished result; the
+        client's resubmission becomes a cache hit.
+        """
+        if self.journal is not None:
+            self.journal.forget(job.id)
+        self.queue.complete(job, result, cache_hit)
+        if isinstance(result, FailedRun):
+            self._m_failed.inc()
+        else:
+            self._m_done.inc()
+        if cache_hit:
+            self._m_cache_hits.inc()
+        else:
+            self._m_cache_misses.inc()
+        self._h_latency.observe(job.service_latency_ns())
+
+    def quarantine_job(self, job: Job, attempts: int,
+                       crash: WorkerCrashError) -> None:
+        """Fail a worker-killing job cleanly instead of retrying it."""
+        self._m_quarantined.inc()
+        result = FailedRun(
+            job.cell.workload_spec.get("name", "?"),
+            "PoisonJobError",
+            f"quarantined after {attempts} worker-killing attempt(s); "
+            f"last: {crash}",
+        )
+        if self.verbose:
+            print(f"[serve] job {job.id} quarantined after "
+                  f"{attempts} attempt(s)", file=sys.stderr)
+        self.finish_job(job, result, cache_hit=False)
+
+    def note_worker_restart(self) -> None:
+        self._m_worker_restarts.inc()
+
+    def note_lease_revoked(self) -> None:
+        self._m_lease_revocations.inc()
+
+    def note_cache_quarantined(self, count: int) -> None:
+        if count:
+            self._m_cache_quarantined.inc(count)
 
     # --- client operations --------------------------------------------------
     def submit(self, cell: SweepCell) -> tuple[Job, bool]:
@@ -175,7 +294,7 @@ class SimulationService:
             self._m_submitted.inc()
             if self.journal is not None:
                 self.journal.record(job)
-        self._sample_gauges()
+        self.sample_gauges()
         return job, coalesced
 
     def cancel(self, job_id: str) -> Job:
@@ -184,31 +303,36 @@ class SimulationService:
         self._h_latency.observe(job.service_latency_ns())
         if self.journal is not None:
             self.journal.forget(job.id)
-        self._sample_gauges()
+        self.sample_gauges()
         return job
 
     # --- reporting ----------------------------------------------------------
-    def _sample_gauges(self) -> None:
+    def sample_gauges(self) -> None:
         self._g_depth.set(self.queue.depth)
         self._g_running.set(self.queue.running)
+
+    # Backwards-compatible alias (pre-fleet name).
+    _sample_gauges = sample_gauges
 
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
 
     def health(self) -> dict:
-        return {
+        health = {
             "status": "draining" if self.draining else "ok",
             "version": __version__,
             "queue_depth": self.queue.depth,
             "running_jobs": self.queue.running,
             "queue_limit": self.queue.capacity,
-            "workers": len(self._workers),
+            "workers": self.jobs,
             "cache": str(self.cache.root) if self.cache else None,
         }
+        health.update(self._backend.descriptor())
+        return health
 
     def metrics_snapshot(self) -> dict:
-        self._sample_gauges()
+        self.sample_gauges()
         snapshot = self.registry.snapshot()
         snapshot["serve.service_latency_ns_p50"] = \
             self._h_latency.quantile(0.50)
@@ -222,17 +346,17 @@ class SimulationService:
 
         Idempotent.  Returns True once every worker has exited (all
         running jobs reached a terminal state); queued jobs stay in the
-        journal for the next server generation to resume.
+        journal for the next server generation.  In process mode the
+        worker processes are stopped after the last in-flight job
+        lands; a worker that crashes *during* drain still has its job
+        requeued and journaled, never lost.
         """
         self._draining.set()
         self.queue.close()
         if not self._started or self._drained:
             return True
-        done = True
-        for _ in self._workers:
-            done = self._idle.acquire(timeout=timeout) and done
-        self._drained = done
-        return done
+        self._drained = self._backend.drain(timeout=timeout)
+        return self._drained
 
 
 class ServiceServer:
@@ -297,18 +421,21 @@ def run_server(
     cache: RunCache | None,
     journal: JobJournal | None,
     verbose: bool = False,
+    worker_mode: str = "process",
+    fleet: FleetOptions | None = None,
 ) -> int:
     """The ``repro serve`` entry point: boot, announce, block, drain."""
     service = SimulationService(jobs=jobs, queue_limit=queue_limit,
                                 cache=cache, journal=journal,
-                                verbose=verbose)
+                                verbose=verbose, worker_mode=worker_mode,
+                                fleet=fleet)
     resumed = service.start()
     server = ServiceServer(service, host=host, port=port)
     server.install_signal_handlers()
     resumed_note = f", resumed {resumed} journaled job(s)" if resumed \
         else ""
     print(f"[serve] listening on http://{server.host}:{server.port} "
-          f"({jobs} worker(s), queue limit {queue_limit}"
+          f"({jobs} {worker_mode} worker(s), queue limit {queue_limit}"
           f"{resumed_note})", file=sys.stderr)
     try:
         server.serve_forever()

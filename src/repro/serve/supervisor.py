@@ -1,0 +1,286 @@
+"""Supervised fleet of worker processes behind the simulation service.
+
+The :class:`Supervisor` is the process-mode execution backend of
+:class:`~repro.serve.server.SimulationService`.  It owns N
+:class:`~repro.serve.worker.WorkerProcess` children and N dispatcher
+threads; each dispatcher loops::
+
+    job = queue.take()            # blocks; None on drain
+    lease = grant(job, worker)    # write-ahead lease WAL entry
+    result = worker.run(payload)  # crash/hang detection inside
+    finish(job, result)           # journal forget + terminal state
+
+**Job leases.**  Before a job is handed to a worker the supervisor
+writes a lease entry to the journal's per-worker WAL
+(``worker-<i>/<job>.json``) carrying the attempt count.  When the
+worker dies or wedges, the lease is revoked: the supervisor replays
+that worker's WAL, requeues the job (front of the queue, original id)
+after a capped-exponential wall-clock backoff — the service-layer twin
+of PR 1's simulated-time retry policy — and respawns the worker.
+
+**Poison quarantine.**  A job whose lease has been revoked
+``max_attempts`` times is failing its workers, not the other way
+around: instead of crash-looping the fleet it is completed cleanly as
+``failed`` with a :class:`~repro.errors.PoisonJobError` payload and
+counted in ``serve.jobs_quarantined``.
+
+**Restart.**  Lease WALs also survive the daemon itself: on boot the
+service folds persisted attempt counts back into the replayed jobs
+(see ``SimulationService.start``), so a poison job cannot reset its
+strike count by taking the whole server down with it.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServeError, WorkerCrashError
+from ..faultinject.service import ServiceFaultProfile
+from ..stats import FailedRun, SimStats
+from .queue import Job
+from .worker import DEFAULT_HEARTBEAT_INTERVAL, WorkerProcess
+
+
+@dataclass(frozen=True)
+class FleetOptions:
+    """Supervision policy for the worker-process fleet."""
+
+    #: Lease grants per job before poison quarantine.
+    max_attempts: int = 3
+    #: Wall seconds a single job may run before its worker is killed
+    #: (0 disables the deadline).
+    job_timeout: float = 0.0
+    #: Wall seconds of heartbeat silence before a worker is declared
+    #: wedged and killed (0 disables; the job deadline still applies).
+    heartbeat_timeout: float = 30.0
+    #: Child heartbeat period.
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    #: Capped exponential wall-clock backoff before a revoked lease's
+    #: job is requeued: ``min(base * multiplier**(attempt-1), cap)``.
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 1.0
+    #: ``multiprocessing`` start method for the children.
+    start_method: str = "spawn"
+    #: Injected service-layer faults (chaos harness); None in production.
+    fault_profile: ServiceFaultProfile | None = None
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ServeError(
+                f"fleet max_attempts must be >= 1, got "
+                f"{self.max_attempts}"
+            )
+        for name in ("job_timeout", "heartbeat_timeout",
+                     "heartbeat_interval", "backoff_base",
+                     "backoff_cap"):
+            if getattr(self, name) < 0:
+                raise ServeError(f"fleet {name} must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ServeError("fleet backoff_multiplier must be >= 1")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait before requeueing after ``attempt`` grants."""
+        raw = self.backoff_base \
+            * self.backoff_multiplier ** max(0, attempt - 1)
+        return min(raw, self.backoff_cap)
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one job (in-memory view of the WAL entry)."""
+
+    job: Job
+    worker: int
+    attempt: int
+    granted_at: float = field(default_factory=time.monotonic)
+
+
+class Supervisor:
+    """Spawn, watch, and replace the worker processes; never die."""
+
+    def __init__(self, service, jobs: int,
+                 options: FleetOptions | None = None) -> None:
+        self.service = service
+        self.options = options or FleetOptions()
+        self.options.validate()
+        self.jobs = jobs
+        self._workers: list[WorkerProcess | None] = [None] * jobs
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch, args=(slot,),
+                             name=f"serve-dispatch-{slot}", daemon=True)
+            for slot in range(jobs)
+        ]
+        self._leases: dict[int, Lease] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Semaphore(0)
+        self._drained = False
+        self._draining = threading.Event()
+        self.restarts = 0
+
+    # --- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        for thread in self._dispatchers:
+            thread.start()
+
+    def descriptor(self) -> dict:
+        with self._lock:
+            alive = sum(1 for worker in self._workers
+                        if worker is not None and worker.is_alive())
+        return {
+            "worker_mode": "process",
+            "workers_alive": alive,
+            "worker_restarts": self.restarts,
+            "max_attempts": self.options.max_attempts,
+        }
+
+    def _spawn(self, slot: int) -> WorkerProcess:
+        cache = self.service.cache
+        profile = self.options.fault_profile
+        worker = WorkerProcess(
+            index=slot,
+            cache_dir=str(cache.root) if cache is not None else None,
+            profile_fields=profile.to_dict() if profile else None,
+            heartbeat_interval=self.options.heartbeat_interval,
+            start_method=self.options.start_method,
+        )
+        with self._lock:
+            self._workers[slot] = worker
+        return worker
+
+    def _ensure_worker(self, slot: int) -> WorkerProcess:
+        with self._lock:
+            worker = self._workers[slot]
+        if worker is not None and worker.is_alive():
+            return worker
+        if worker is not None:
+            # Died between jobs — still a restart, but no lease to
+            # revoke.
+            worker.kill()
+            self._count_restart(slot, "died while idle")
+        return self._spawn(slot)
+
+    def _count_restart(self, slot: int, why: str) -> None:
+        self.restarts += 1
+        self.service.note_worker_restart()
+        if self.service.verbose:
+            print(f"[serve] worker {slot} {why}; respawning",
+                  file=sys.stderr)
+
+    # --- the dispatch loop --------------------------------------------------
+    def _dispatch(self, slot: int) -> None:
+        queue = self.service.queue
+        while True:
+            job = queue.take()
+            if job is None:
+                self._idle.release()
+                return
+            self.service.sample_gauges()
+            self._run_leased(slot, job)
+            self.service.sample_gauges()
+
+    def _run_leased(self, slot: int, job: Job) -> None:
+        journal = self.service.journal
+        job.attempts += 1
+        lease = Lease(job=job, worker=slot, attempt=job.attempts)
+        with self._lock:
+            self._leases[slot] = lease
+        if journal is not None:
+            journal.record_lease(slot, job, job.attempts)
+        payload = {
+            "workload": job.cell.workload_spec,
+            "config": job.cell.config.to_dict(),
+        }
+        try:
+            worker = self._ensure_worker(slot)
+            outcome = worker.run(
+                payload,
+                job_timeout=self.options.job_timeout,
+                heartbeat_timeout=self.options.heartbeat_timeout,
+            )
+        except WorkerCrashError as crash:
+            self._revoke(slot, crash)
+            return
+        finally:
+            with self._lock:
+                self._leases.pop(slot, None)
+        if journal is not None:
+            journal.forget_lease(slot, job.id)
+        if outcome["kind"] == "failed":
+            result: SimStats | FailedRun = \
+                FailedRun.from_json_dict(outcome["payload"])
+        else:
+            result = SimStats.from_json_dict(outcome["payload"])
+        self.service.note_cache_quarantined(
+            outcome.get("cache_quarantined", 0))
+        self.service.finish_job(job, result, outcome["cache_hit"])
+
+    def _revoke(self, slot: int, crash: WorkerCrashError) -> None:
+        """The crash path: replay the dead worker's WAL, requeue or
+        quarantine its job, respawn the worker."""
+        journal = self.service.journal
+        with self._lock:
+            worker = self._workers[slot]
+            self._workers[slot] = None
+            lease = self._leases.pop(slot, None)
+        if worker is not None:
+            worker.kill()
+        self._count_restart(
+            slot, "wedged and was killed" if crash.hang else "crashed")
+
+        # The WAL is the authority on what the worker owed; the
+        # in-memory lease must agree (one job per worker today, but the
+        # replay loop keeps this correct if that ever changes).
+        owed: list[tuple[Job, int]] = []
+        if journal is not None:
+            for entry in journal.load_leases(slot):
+                job = self._match_lease(entry, lease)
+                if job is not None:
+                    owed.append((job, entry["attempt"]))
+                journal.forget_lease(slot, entry["id"])
+        elif lease is not None:
+            owed.append((lease.job, lease.attempt))
+        if not owed and lease is not None:
+            owed.append((lease.job, lease.attempt))
+
+        for job, attempt in owed:
+            self.service.note_lease_revoked()
+            if attempt >= self.options.max_attempts:
+                self.service.quarantine_job(job, attempt, crash)
+            else:
+                time.sleep(self.options.backoff_for(attempt))
+                self.service.queue.requeue(job)
+        self._spawn(slot)
+
+    def _match_lease(self, entry: dict, lease: Lease | None) -> Job | None:
+        """Resolve one WAL entry to the live Job object."""
+        if lease is not None and lease.job.id == entry["id"]:
+            return lease.job
+        try:
+            return self.service.queue.get(entry["id"])
+        except Exception:  # noqa: BLE001 — stale WAL rows are skipped
+            return None
+
+    # --- shutdown -----------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every dispatcher to finish its in-flight job, then
+        stop the worker processes.  Idempotent; mirrors the thread
+        backend's contract."""
+        self._draining.set()
+        if self._drained:
+            return True
+        done = True
+        for _ in self._dispatchers:
+            done = self._idle.acquire(timeout=timeout) and done
+        if done:
+            with self._lock:
+                workers = list(self._workers)
+                self._workers = [None] * self.jobs
+            for worker in workers:
+                if worker is not None:
+                    worker.stop()
+            self._drained = True
+        return done

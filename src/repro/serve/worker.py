@@ -1,0 +1,254 @@
+"""One supervised worker process of the serving fleet.
+
+A :class:`WorkerProcess` wraps one ``multiprocessing`` child running
+:func:`_worker_main`: a loop that receives ``("run", payload)`` messages
+over a duplex pipe, executes the cell through the same single-cell seam
+the thread pool used (:func:`repro.sweep.execute_cell`, shared run
+cache, per-cell deterministic reseeding — so a result from a worker
+process is byte-identical to the same cell run in-process), and answers
+``("result", {...})``.
+
+Liveness has three signals, all consumed by the supervisor:
+
+* **pipe EOF / dead process** — the worker crashed (or was SIGKILLed by
+  an injected fault); detected within one poll interval;
+* **heartbeats** — a daemon thread in the child sends ``("hb", ...)``
+  every ``heartbeat_interval`` seconds even while the main thread
+  simulates; silence past the heartbeat timeout means the process is
+  wedged hard (stopped, deadlocked) and gets killed;
+* **job deadline** — a result overdue past ``job_timeout`` seconds
+  means the job itself is stuck (or an injected stall); the worker is
+  killed and the job's lease revoked.
+
+Chaos hooks: when a :class:`~repro.faultinject.service.ServiceFaultProfile`
+is installed, the child consults it before and after each job — dying
+by SIGKILL, stalling, or corrupting the cache entry it just wrote —
+which is how `repro chaos` creates the failures the supervisor must
+survive.
+
+The child is started via the ``spawn`` method by default: a fresh
+interpreter per worker keeps fork-with-threads hazards out of the
+daemon and makes a respawned worker bit-identical to a fresh one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+from ..errors import WorkerCrashError
+
+#: Seconds between child heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+#: Parent-side poll granularity while waiting for a result.
+_POLL_INTERVAL = 0.05
+
+
+def _worker_main(index: int, conn, cache_dir: str | None,
+                 profile_fields: dict | None,
+                 heartbeat_interval: float) -> None:
+    """Child entry point: serve ``run`` requests until ``stop``/EOF.
+
+    Imports live inside the function so a ``spawn``-started child pays
+    them once, and so the module stays importable without the simulator
+    packages loaded.
+    """
+    from ..config import SimulatorConfig
+    from ..faultinject.service import ServiceFaultProfile
+    from ..sweep import RunCache, SweepCell, execute_cell
+    from ..stats import FailedRun
+
+    profile = ServiceFaultProfile.from_dict(profile_fields) \
+        if profile_fields else None
+    cache = RunCache(cache_dir) if cache_dir else None
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+
+    def _send(message: object) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def _beat() -> None:
+        while not stop_beat.wait(heartbeat_interval):
+            try:
+                _send(("hb", index))
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, name=f"worker-{index}-hb",
+                     daemon=True).start()
+
+    jobs_run = 0
+    stores = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            stop_beat.set()
+            try:
+                _send(("bye", index))
+            except OSError:
+                pass
+            return
+        if kind == "ping":
+            _send(("pong", index))
+            continue
+        if kind != "run":
+            continue
+
+        payload = message[1]
+        jobs_run += 1
+        cell = SweepCell(
+            workload_spec=payload["workload"],
+            config=SimulatorConfig.from_dict(payload["config"]),
+        )
+        if profile is not None:
+            if profile.should_kill(jobs_run, cell.config.seed):
+                # An injected crash: no goodbye, no cleanup — exactly
+                # what a segfaulting cell looks like from outside.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if profile.should_stall(jobs_run):
+                time.sleep(profile.stall_seconds)
+
+        quarantined_before = cache.quarantined if cache else 0
+        result, cache_hit = execute_cell(cell, cache=cache)
+        quarantined = (cache.quarantined - quarantined_before) \
+            if cache else 0
+
+        if profile is not None and cache is not None and not cache_hit:
+            stores += 1
+            if profile.should_corrupt_store(stores):
+                _truncate_entry(cache.path_for(cell.cache_key()))
+
+        _send(("result", {
+            "kind": "failed" if isinstance(result, FailedRun)
+            else "stats",
+            "payload": result.to_json_dict(),
+            "cache_hit": cache_hit,
+            "cache_quarantined": quarantined,
+        }))
+
+
+def _truncate_entry(path) -> None:
+    """Chaos hook: tear the just-written cache file in half."""
+    try:
+        raw = path.read_bytes()
+        path.write_bytes(raw[:max(1, len(raw) // 2)])
+    except OSError:
+        pass
+
+
+class WorkerProcess:
+    """Parent-side handle for one child worker.
+
+    ``run`` is synchronous from the dispatcher thread's point of view:
+    it returns the result dict or raises
+    :class:`~repro.errors.WorkerCrashError` when the child dies, wedges
+    past the heartbeat timeout, or blows the job deadline (the latter
+    two after the parent SIGKILLs it).
+    """
+
+    def __init__(self, index: int, cache_dir: str | None = None,
+                 profile_fields: dict | None = None,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 start_method: str = "spawn") -> None:
+        self.index = index
+        ctx = multiprocessing.get_context(start_method)
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(index, child_conn, cache_dir, profile_fields,
+                  heartbeat_interval),
+            name=f"serve-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        # The child owns its end now; closing ours makes a dead child
+        # surface as EOF instead of a silent hang.
+        child_conn.close()
+        self.last_heartbeat = time.monotonic()
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def _crash(self, detail: str, hang: bool = False) -> WorkerCrashError:
+        code = self.process.exitcode
+        suffix = f" (exit code {code})" if code is not None else ""
+        return WorkerCrashError(
+            f"worker {self.index} {detail}{suffix}",
+            worker=self.index, hang=hang,
+        )
+
+    def run(self, payload: dict, job_timeout: float = 0.0,
+            heartbeat_timeout: float = 0.0) -> dict:
+        """Execute one job payload; returns the child's result dict."""
+        # Drain heartbeats queued while idle, so staleness is measured
+        # from now.
+        while self.conn.poll(0):
+            try:
+                self.conn.recv()
+            except (EOFError, OSError):
+                raise self._crash("died while idle") from None
+        self.last_heartbeat = time.monotonic()
+        try:
+            self.conn.send(("run", payload))
+        except (OSError, ValueError) as exc:
+            raise self._crash(f"pipe closed on dispatch: {exc}") from None
+
+        deadline = time.monotonic() + job_timeout if job_timeout else None
+        while True:
+            if self.conn.poll(_POLL_INTERVAL):
+                try:
+                    message = self.conn.recv()
+                except (EOFError, OSError):
+                    raise self._crash("died mid-job") from None
+                if message[0] == "hb":
+                    self.last_heartbeat = time.monotonic()
+                    continue
+                if message[0] == "result":
+                    return message[1]
+                continue
+            now = time.monotonic()
+            if not self.process.is_alive():
+                raise self._crash("died mid-job")
+            if deadline is not None and now >= deadline:
+                self.kill()
+                raise self._crash(
+                    f"blew the {job_timeout:g}s job deadline; killed",
+                    hang=True,
+                )
+            if heartbeat_timeout \
+                    and now - self.last_heartbeat >= heartbeat_timeout:
+                self.kill()
+                raise self._crash(
+                    f"heartbeat silent for {heartbeat_timeout:g}s; "
+                    "killed", hang=True,
+                )
+
+    def kill(self) -> None:
+        """SIGKILL the child and reap it (idempotent)."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5)
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Ask the child to exit; escalate to SIGKILL on silence."""
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.kill()
+        try:
+            self.conn.close()
+        except OSError:
+            pass

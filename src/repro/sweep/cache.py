@@ -9,13 +9,17 @@ cells, and an interrupted sweep resumes for free: completed cells are
 already on disk (writes are atomic via rename).
 
 Anything unreadable — corrupt JSON, a stale schema version, a truncated
-write — is treated as a cache miss and overwritten, never trusted.
+write — is treated as a cache miss, never trusted.  Corrupt entries are
+additionally **quarantined**: moved to ``<root>/quarantine/`` and
+counted, so a bad file is inspectable after the fact, can never be
+served twice, and the healthy re-execution overwrites a clean slot.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 from pathlib import Path
 
 from ..errors import ReproError
@@ -48,40 +52,82 @@ def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
 #: Version of the cache *file* schema (the envelope around the result).
 CACHE_FORMAT = 1
 
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIRNAME = "quarantine"
+
 
 class RunCache:
     """Load/store sweep-cell results by content hash.
 
-    Tracks ``hits`` and ``misses`` for reporting; both reset with the
-    instance, not the directory, so two CLI invocations sharing one cache
-    directory each report their own counts.
+    Tracks ``hits`` and ``misses`` for reporting, plus ``quarantined``
+    — corrupt/truncated entries moved aside by :meth:`load`.  All three
+    reset with the instance, not the directory, so two CLI invocations
+    sharing one cache directory each report their own counts.
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         """Cache file for one cell key (two-character fan-out dirs)."""
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: Path, key: str,
+                    reason: Exception) -> None:
+        """Move one corrupt entry aside so it can never be served.
+
+        Self-healing: the caller treats the load as a miss, re-executes
+        the cell, and the store writes a fresh entry into the (now
+        empty) slot.  The bad bytes stay inspectable under
+        ``quarantine/`` instead of being silently overwritten.
+        """
+        self.quarantined += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(self.quarantine_dir / path.name)
+        except OSError:
+            # Cannot move (permissions, concurrent heal): drop it so the
+            # fresh result can land; losing the corpse beats serving it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        print(f"[cache] quarantined corrupt entry {key[:12]}…: {reason}",
+              file=sys.stderr)
+
     def load(self, key: str) -> SimStats | FailedRun | None:
         """The cached result for ``key``, or None on any miss.
 
-        A mismatched envelope/stats schema version or a malformed payload
-        counts as a miss: the cell simply re-executes and overwrites the
-        stale entry.
+        A missing file is a plain miss.  A present-but-unreadable entry
+        (torn write, malformed payload, stale schema version) is
+        quarantined — moved to ``quarantine/``, counted, reported on
+        stderr — and *also* treated as a miss: the cell simply
+        re-executes and stores a healthy replacement.  Corruption is
+        therefore self-healing and can never raise into a sweep or a
+        serving worker.
         """
         path = self.path_for(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            self._quarantine(path, key, exc)
             self.misses += 1
             return None
         try:
-            result = self._decode(data, key)
-        except (ReproError, KeyError, TypeError, ValueError):
+            result = self._decode(json.loads(text), key)
+        except (ReproError, AttributeError, KeyError, TypeError,
+                ValueError) as exc:
+            self._quarantine(path, key, exc)
             self.misses += 1
             return None
         self.hits += 1

@@ -100,11 +100,29 @@ class TestJobStateMachine:
         with pytest.raises(JobStateError):
             job.advance(DONE)  # queued -> done skips running
         queue.take(timeout=1)
-        with pytest.raises(JobStateError):
-            job.advance(QUEUED)
+        queue.requeue(job)  # running -> queued IS legal (lease revoked)
+        assert queue.take(timeout=1) is job
         queue.complete(job, SimStats(), cache_hit=False)
         with pytest.raises(JobStateError):
             job.advance(RUNNING)  # terminal states are final
+
+    def test_illegal_transition_message_names_both_states(self):
+        queue = JobQueue()
+        job, _ = queue.submit(cell(4))
+        with pytest.raises(JobStateError) as excinfo:
+            job.advance(DONE)
+        message = str(excinfo.value)
+        assert job.id in message
+        assert "'queued'" in message and "'done'" in message
+        assert "legal from 'queued'" in message
+        with pytest.raises(JobStateError) as excinfo:
+            job.advance("bogus")
+        assert "unknown target state 'bogus'" in str(excinfo.value)
+        queue.take(timeout=1)
+        queue.complete(job, SimStats(), cache_hit=False)
+        with pytest.raises(JobStateError) as excinfo:
+            job.advance(RUNNING)
+        assert "none (terminal)" in str(excinfo.value)
 
 
 class TestJobQueue:
@@ -166,6 +184,33 @@ class TestJobQueue:
         with pytest.raises(JobStateError):
             queue.submit(cell(2))
 
+    def test_requeue_goes_to_the_front(self):
+        queue = JobQueue()
+        revoked, _ = queue.submit(cell(1))
+        queue.submit(cell(2))
+        assert queue.take(timeout=1) is revoked
+        queue.requeue(revoked)  # its worker "died"
+        assert revoked.state == QUEUED
+        assert queue.take(timeout=1) is revoked  # ahead of cell(2)
+
+    def test_requeue_ignores_capacity_and_close(self):
+        # A revoked job was already admitted once; bouncing it on a
+        # full or draining queue would lose it.
+        queue = JobQueue(capacity=1)
+        revoked, _ = queue.submit(cell(1))
+        queue.take(timeout=1)
+        queue.submit(cell(2))  # fills the single waiting slot
+        queue.requeue(revoked)
+        assert queue.depth == 2
+        taken = queue.take(timeout=1)
+        assert taken is revoked
+        closed = JobQueue()
+        held, _ = closed.submit(cell(3))
+        closed.take(timeout=1)
+        closed.close()
+        closed.requeue(held)  # crash during drain: still journaled-able
+        assert held.state == QUEUED and held in closed.pending()
+
 
 class TestJournal:
     def test_round_trip_in_submission_order(self, tmp_path):
@@ -189,7 +234,8 @@ class TestJournal:
         journal.forget(job.id)
         assert journal.load() == []
 
-    def test_corrupt_entries_are_skipped(self, tmp_path, capsys):
+    def test_corrupt_entries_are_quarantined_not_fatal(
+            self, tmp_path, capsys):
         journal = JobJournal(tmp_path / "journal")
         queue = JobQueue()
         job, _ = queue.submit(cell(1))
@@ -198,7 +244,45 @@ class TestJournal:
         (journal.root / "zz-stale.json").write_text(
             json.dumps({"format": -1}))
         assert [job_id for job_id, _ in journal.load()] == [job.id]
-        assert "skipping" in capsys.readouterr().err
+        assert journal.quarantined == 2
+        assert "quarantined" in capsys.readouterr().err
+        # The bad files were moved aside, so a second replay is clean:
+        # same result, no re-quarantine, corpses inspectable on disk.
+        assert [job_id for job_id, _ in journal.load()] == [job.id]
+        assert journal.quarantined == 2
+        assert sorted(p.name for p in journal.quarantine_dir.iterdir()) \
+            == ["zz-corrupt.json", "zz-stale.json"]
+
+    def test_lease_wal_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        queue = JobQueue()
+        first, _ = queue.submit(cell(1))
+        second, _ = queue.submit(cell(2))
+        journal.record_lease(0, first, attempt=2)
+        journal.record_lease(1, second, attempt=1)
+        assert [(e["id"], e["worker"], e["attempt"])
+                for e in journal.load_leases()] == \
+            [(first.id, 0, 2), (second.id, 1, 1)]
+        assert [e["id"] for e in journal.load_leases(0)] == [first.id]
+        journal.forget_lease(0, first.id)
+        journal.forget_lease(0, first.id)  # idempotent
+        assert journal.load_leases(0) == []
+        journal.clear_leases()
+        assert journal.load_leases() == []
+
+    def test_corrupt_lease_entries_are_quarantined(
+            self, tmp_path, capsys):
+        journal = JobJournal(tmp_path / "journal")
+        queue = JobQueue()
+        job, _ = queue.submit(cell(1))
+        journal.record_lease(0, job, attempt=1)
+        (journal.worker_dir(0) / "zz-torn.json").write_text('{"id": "x')
+        assert [e["id"] for e in journal.load_leases(0)] == [job.id]
+        assert journal.quarantined == 1
+        assert "quarantined" in capsys.readouterr().err
+        # Quarantined under a worker-prefixed name: no collision with a
+        # same-named main-journal corpse.
+        assert (journal.quarantine_dir / "worker-0-zz-torn.json").is_file()
 
 
 class TestBuildCell:
@@ -232,6 +316,74 @@ class TestBuildCell:
     def test_seed_must_be_integral_in_config_too(self):
         with pytest.raises(ConfigurationError):
             SimulatorConfig(seed="abc")
+
+
+class TestClientConnectRetries:
+    """Opt-in retry of refused/reset connections in ServeClient."""
+
+    @staticmethod
+    def _flaky_client(failures: int, exc: type, **kwargs) -> ServeClient:
+        """A client whose first ``failures`` transports raise ``exc``."""
+        client = ServeClient(port=1, **kwargs)
+        client.calls = 0
+
+        def fake_request_once(method, path, body=None):
+            client.calls += 1
+            if client.calls <= failures:
+                raise exc("synthetic")
+            return {"ok": True}
+
+        client._request_once = fake_request_once
+        return client
+
+    def test_default_is_fail_fast(self):
+        client = self._flaky_client(5, ConnectionRefusedError)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/v1/healthz")
+        assert client.calls == 1
+        assert "after 1 attempt(s)" in str(excinfo.value)
+
+    def test_retries_refused_until_the_server_is_back(self):
+        client = self._flaky_client(2, ConnectionRefusedError,
+                                    connect_retries=3,
+                                    connect_backoff=0.0)
+        assert client._request("GET", "/v1/healthz") == {"ok": True}
+        assert client.calls == 3
+
+    def test_retries_reset_too_and_budget_is_bounded(self):
+        client = self._flaky_client(99, ConnectionResetError,
+                                    connect_retries=2,
+                                    connect_backoff=0.0)
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/v1/healthz")
+        assert client.calls == 3  # retries + the final attempt
+        assert "after 3 attempt(s)" in str(excinfo.value)
+
+    def test_other_transport_errors_are_never_retried(self):
+        client = self._flaky_client(99, TimeoutError,
+                                    connect_retries=5,
+                                    connect_backoff=0.0)
+        with pytest.raises(TimeoutError):
+            client._request("GET", "/v1/healthz")
+        assert client.calls == 1
+
+    def test_real_refused_connection_still_raises(self):
+        import socket
+
+        with socket.socket() as probe:  # a port nobody listens on
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = ServeClient(port=free_port, timeout=1.0,
+                             connect_retries=1, connect_backoff=0.0)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.healthz()
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_knobs_are_validated(self):
+        with pytest.raises(ServeClientError):
+            ServeClient(connect_retries=-1)
+        with pytest.raises(ServeClientError):
+            ServeClient(connect_backoff=-0.1)
 
 
 class TestHistogramQuantile:
@@ -539,4 +691,69 @@ class TestEndToEndSimulation:
             assert isinstance(failed, FailedRun)
         finally:
             server.shutdown(timeout=60)
+            server.close()
+
+
+@pytest.mark.serve
+class TestSigtermDrain:
+    """A real SIGTERM with jobs in flight AND queued: the in-flight job
+    reaches a terminal state, the queued one stays journaled, and the
+    next server generation replays it under its original id."""
+
+    def test_sigterm_drains_in_flight_and_preserves_queued(
+            self, tmp_path):
+        import signal as signal_module
+        import time
+
+        journal = JobJournal(tmp_path / "journal")
+        runner = GatedRunner()
+        service = SimulationService(jobs=1, queue_limit=8,
+                                    journal=journal, runner=runner)
+        service.start()
+        server = ServiceServer(service, port=0)
+        server.start_background()
+        previous_term = signal_module.getsignal(signal_module.SIGTERM)
+        previous_int = signal_module.getsignal(signal_module.SIGINT)
+        server.install_signal_handlers()
+        try:
+            held, _ = service.submit(cell(1))
+            assert runner.started.wait(30)  # worker holds `held`
+            queued, _ = service.submit(cell(2))
+            assert queued.state == QUEUED
+
+            signal_module.raise_signal(signal_module.SIGTERM)
+            # The handler spawns the drain off the signal frame; give
+            # the drain thread its job, then let the held job finish.
+            deadline = time.monotonic() + 30
+            while not service.draining:
+                assert time.monotonic() < deadline, "drain never began"
+                time.sleep(0.01)
+            runner.release()
+            assert held.wait(timeout=30)
+            assert held.state == DONE
+            while any(t.name == "serve-drain" and t.is_alive()
+                      for t in threading.enumerate()):
+                assert time.monotonic() < deadline, "drain never ended"
+                time.sleep(0.01)
+
+            # Queued job survived: still queued, still journaled.
+            assert queued.state == QUEUED
+            assert [job_id for job_id, _ in journal.load()] == \
+                [queued.id]
+
+            # Next generation replays it under the original id.
+            reborn_runner = GatedRunner()
+            reborn_runner.release()
+            reborn = SimulationService(jobs=1, journal=journal,
+                                       runner=reborn_runner)
+            assert reborn.start() == 1
+            replayed = reborn.queue.get(queued.id)
+            assert replayed.wait(timeout=30)
+            assert replayed.state == DONE
+            assert journal.load() == []
+            reborn.drain(timeout=30)
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous_term)
+            signal_module.signal(signal_module.SIGINT, previous_int)
+            runner.release()
             server.close()
