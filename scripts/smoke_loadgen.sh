@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the service observability stack: boot a 2-worker
+# process daemon against a fresh cache/journal/event-log with tracing
+# on, run the seeded loadgen twice — the cold run populates the cache,
+# the warm run must be >90% cache hits — then require the two
+# BENCH_serve.json reports to be byte-identical outside the declared
+# volatile block, the merged trace to validate with every lifecycle
+# transition present, the event log to be schema-clean, and the
+# Prometheus endpoint to survive the strict parser.  Finishes with the
+# dedicated test module including the serve-marked determinism pair.
+# Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$out_dir"
+}
+trap cleanup EXIT
+
+port=8093
+seed=7
+duration="${LOADGEN_DURATION:-10}"
+loadgen_flags=(--seed "$seed" --duration "$duration" --rate 4
+               --scale 0.08 --port "$port")
+
+echo "== boot: repro serve --jobs 2 --worker-mode process --service-trace =="
+python -m repro serve --port "$port" --jobs 2 --worker-mode process \
+    --cache-dir "$out_dir/runcache" --journal-dir "$out_dir/journal" \
+    --events-dir "$out_dir/servelog" --service-trace \
+    2> "$out_dir/serve.err" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    if python - "$port" <<'EOF' 2>/dev/null
+import sys
+from repro.serve.client import ServeClient
+ServeClient(port=int(sys.argv[1]), timeout=2).healthz()
+EOF
+    then break; fi
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "FAIL: server died during startup" >&2
+        cat "$out_dir/serve.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+
+echo
+echo "== loadgen run 1 (cold cache) =="
+python -m repro loadgen "${loadgen_flags[@]}" \
+    --out "$out_dir/BENCH_serve.json"
+
+echo
+echo "== loadgen run 2 (warm cache) =="
+python -m repro loadgen "${loadgen_flags[@]}" \
+    --out "$out_dir/BENCH_serve2.json" \
+    --trace-out "$out_dir/serve.trace.json"
+
+echo
+echo "== warm-run cache-hit rate must exceed 0.9 =="
+python - "$out_dir" <<'EOF'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+warm = json.loads((out / "BENCH_serve2.json").read_text())
+rate = warm["measured"]["cache_hit_rate"]
+assert rate > 0.9, f"warm cache-hit rate {rate} <= 0.9"
+print(f"warm cache-hit rate {rate:.3f} OK")
+EOF
+
+echo
+echo "== reports must be byte-identical outside the volatile block =="
+python - "$out_dir" <<'EOF'
+import json, pathlib, sys
+
+from repro.loadgen import report_to_json, stable_report_fields
+
+out = pathlib.Path(sys.argv[1])
+cold = json.loads((out / "BENCH_serve.json").read_text())
+warm = json.loads((out / "BENCH_serve2.json").read_text())
+assert cold["volatile"] == ["measured"]
+stable_cold = report_to_json(stable_report_fields(cold))
+stable_warm = report_to_json(stable_report_fields(warm))
+assert stable_cold == stable_warm, "stable report sections differ"
+print("stable sections byte-identical OK")
+EOF
+
+echo
+echo "== merged trace validates; event log schema-clean; prom parses =="
+python - "$out_dir" "$port" <<'EOF'
+import json, pathlib, sys
+
+from repro.obs import parse_prometheus_text, validate_chrome_trace
+from repro.serve import ServeClient, ServeEventLog
+
+out = pathlib.Path(sys.argv[1])
+trace = json.loads((out / "serve.trace.json").read_text())
+validate_chrome_trace(trace)
+names = {event.get("name") for event in trace["traceEvents"]}
+for needed in ("queued", "journaled", "attempt-1", "executing",
+               "cache_hit", "cache_miss", "terminal:done"):
+    assert needed in names, f"trace is missing {needed!r} spans"
+print(f"trace OK ({len(trace['traceEvents'])} events)")
+
+problems = ServeEventLog.scan(out / "servelog")
+assert problems == [], problems
+events = ServeEventLog.read(out / "servelog")
+kinds = {event["kind"] for event in events}
+for needed in ("submitted", "journaled", "leased", "executing",
+               "cache_hit", "cache_miss", "terminal"):
+    assert needed in kinds, f"event log is missing {needed!r}"
+print(f"event log OK ({len(events)} events)")
+
+samples = parse_prometheus_text(
+    ServeClient(port=int(sys.argv[2])).metrics_prom())
+assert samples["serve_jobs_done"] > 0
+assert 'serve_worker_inflight{worker="0"}' in samples
+print(f"prometheus exposition OK ({len(samples)} samples)")
+EOF
+
+echo
+echo "== repro top renders a frame =="
+python -m repro top --port "$port"
+
+echo
+echo "== SIGTERM must drain cleanly =="
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+    echo "FAIL: server exited nonzero after SIGTERM" >&2
+    cat "$out_dir/serve.err" >&2
+    exit 1
+}
+server_pid=""
+grep -q '^\[serve\] drained' "$out_dir/serve.err" || {
+    echo "FAIL: no drain message in server stderr" >&2
+    cat "$out_dir/serve.err" >&2
+    exit 1
+}
+
+echo
+echo "== loadgen test module (incl. the determinism pair) =="
+python -m pytest tests/test_loadgen.py -q -m ""
+
+cp "$out_dir/BENCH_serve.json" BENCH_serve.json 2>/dev/null || true
+
+echo
+echo "loadgen smoke OK"

@@ -51,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from . import __version__
@@ -328,6 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="kill a worker whose job runs longer "
                               "than this (process mode; 0 disables)")
+    serve_p.add_argument("--events-dir", type=Path, default=None,
+                         help="structured event-log directory (default: "
+                              "results/.servelog)")
+    serve_p.add_argument("--no-events", action="store_true",
+                         help="disable the structured JSONL event log")
+    serve_p.add_argument("--service-trace", action="store_true",
+                         help="record a merged cross-process job trace, "
+                              "served at GET /v1/trace")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
     add_cache_flags(serve_p)
@@ -421,6 +430,67 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument("--cancel", action="store_true",
                         help="cancel the given queued job")
     add_remote_flags(jobs_p)
+
+    loadgen_p = sub.add_parser(
+        "loadgen",
+        help="replay a seeded zipf submission trace against a running "
+             "server and report latency quantiles + cache-hit rate "
+             "(see docs/SERVICE.md)",
+    )
+    loadgen_p.add_argument("--seed", type=int, default=7)
+    loadgen_p.add_argument("--duration", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="submission window (default: 10)")
+    loadgen_p.add_argument("--rate", type=float, default=4.0,
+                           metavar="PER_SECOND",
+                           help="open-loop arrival rate (default: 4)")
+    loadgen_p.add_argument("--concurrency", type=int, default=8,
+                           metavar="N",
+                           help="waiter threads polling for results "
+                                "(default: 8)")
+    loadgen_p.add_argument("--workload", default="hotspot",
+                           choices=sorted(WORKLOAD_REGISTRY))
+    loadgen_p.add_argument("--scale", type=float, default=0.08)
+    loadgen_p.add_argument("--distinct", type=int, default=8,
+                           metavar="N",
+                           help="catalog size the zipf draws from "
+                                "(default: 8)")
+    loadgen_p.add_argument("--zipf-s", type=float, default=1.1,
+                           help="zipf exponent; 0 = uniform "
+                                "(default: 1.1)")
+    loadgen_p.add_argument("--pattern", default="zipf",
+                           choices=["zipf", "unique"],
+                           help="zipf-skewed repeats (default) or "
+                                "round-robin distinct configs")
+    loadgen_p.add_argument("--prefetcher", default=None,
+                           choices=sorted(PREFETCHER_REGISTRY))
+    loadgen_p.add_argument("--eviction", default=None,
+                           choices=sorted(EVICTION_REGISTRY))
+    loadgen_p.add_argument("--out", type=Path,
+                           default=Path("BENCH_serve.json"),
+                           help="report path (default: "
+                                "BENCH_serve.json)")
+    loadgen_p.add_argument("--trace-out", type=Path, default=None,
+                           help="also fetch GET /v1/trace into this "
+                                "file (needs --service-trace on the "
+                                "daemon)")
+    loadgen_p.add_argument("--json", action="store_true",
+                           help="print the full report JSON instead of "
+                                "the summary")
+    add_remote_flags(loadgen_p)
+
+    top_p = sub.add_parser(
+        "top",
+        help="one-shot or interval snapshot of a running server: queue "
+             "depth, per-worker state, latency quantiles",
+    )
+    top_p.add_argument("--interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="refresh period (0 = print once and exit)")
+    top_p.add_argument("--count", type=int, default=0, metavar="N",
+                       help="frames to print with --interval "
+                            "(0 = until interrupted)")
+    add_remote_flags(top_p)
 
     tune_p = sub.add_parser(
         "tune",
@@ -756,9 +826,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import (
+        DEFAULT_EVENTS_DIR,
         DEFAULT_JOURNAL_DIR,
         FleetOptions,
         JobJournal,
+        ServeEventLog,
+        ServiceTracer,
         run_server,
     )
 
@@ -770,6 +843,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     journal_dir = args.journal_dir if args.journal_dir is not None \
         else DEFAULT_JOURNAL_DIR
+    events = None
+    if not args.no_events:
+        events_dir = args.events_dir if args.events_dir is not None \
+            else DEFAULT_EVENTS_DIR
+        events = ServeEventLog(events_dir)
+    tracer = ServiceTracer(workers=args.jobs) if args.service_trace \
+        else None
     return run_server(
         host=args.host,
         port=args.port,
@@ -781,6 +861,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         worker_mode=args.worker_mode,
         fleet=FleetOptions(max_attempts=args.max_attempts,
                            job_timeout=args.job_timeout),
+        events=events,
+        tracer=tracer,
     )
 
 
@@ -867,6 +949,73 @@ def cmd_jobs(args: argparse.Namespace) -> int:
               f"{health['running_jobs']} running)",
     ))
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import (
+        LoadgenPlan,
+        report_to_json,
+        run_loadgen,
+        summarize_report,
+        write_report,
+    )
+
+    plan = LoadgenPlan(
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        workload=args.workload,
+        scale=args.scale,
+        distinct=args.distinct,
+        zipf_s=args.zipf_s,
+        pattern=args.pattern,
+        prefetcher=args.prefetcher,
+        eviction=args.eviction,
+        timeout=args.timeout,
+    )
+    report = run_loadgen(plan, host=args.host, port=args.port)
+    path = write_report(report, args.out)
+    if args.json:
+        print(report_to_json(report))
+    else:
+        print(summarize_report(report))
+    print(f"report -> {path}", file=sys.stderr)
+    if args.trace_out is not None:
+        from .serve import ServeClient
+
+        trace = ServeClient(host=args.host, port=args.port).trace()
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(json.dumps(
+            trace, indent=1, sort_keys=True,
+            separators=(",", ": ")) + "\n")
+        print(f"trace -> {trace_path}", file=sys.stderr)
+    measured = report["measured"]
+    ok = measured["completed"] > 0 and measured["failed_jobs"] == 0 \
+        and measured["wait_errors"] == 0
+    return 0 if ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .loadgen import fetch_top
+
+    if args.interval <= 0:
+        print(fetch_top(host=args.host, port=args.port,
+                        timeout=args.timeout))
+        return 0
+    frames = 0
+    try:
+        while True:
+            print(fetch_top(host=args.host, port=args.port,
+                            timeout=args.timeout))
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            print()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
@@ -976,6 +1125,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_submit(args)
     if args.command == "jobs":
         return cmd_jobs(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
+    if args.command == "top":
+        return cmd_top(args)
     if args.command == "tune":
         return cmd_tune(args)
     if args.command == "recommend":

@@ -30,8 +30,15 @@ from .metrics import (
     MetricsRegistry,
     exponential_buckets,
 )
+from .prom import parse_prometheus_text, prometheus_text
 from .report import run_report, slowest_batches, stall_attribution
-from .tracer import NULL_TRACER, NullTracer, SpanTracer, standard_layout
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+    serve_layout,
+    standard_layout,
+)
 
 __all__ = [
     "chrome_trace_dict",
@@ -49,8 +56,11 @@ __all__ = [
     "run_report",
     "slowest_batches",
     "stall_attribution",
+    "parse_prometheus_text",
+    "prometheus_text",
     "NULL_TRACER",
     "NullTracer",
     "SpanTracer",
+    "serve_layout",
     "standard_layout",
 ]

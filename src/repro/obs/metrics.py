@@ -17,11 +17,48 @@ them:
 ``snapshot()`` flattens everything into one ``{name: value}`` dict ready
 for JSON export; names are dotted (``fault_batch.service_latency_ns``)
 and histogram/gauge sub-fields are suffixed (``…_count``, ``…_max``).
+
+Instruments may carry **labels** (``registry.gauge("serve.worker.inflight",
+labels={"worker": "0"})``): each label set is its own instrument whose
+full registry key is the Prometheus-style ``name{worker="0"}``, while
+``base_name`` keeps the unlabelled family name for exposition grouping
+(see :mod:`repro.obs.prom`).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+
+
+def labeled_name(name: str, labels: dict | None) -> str:
+    """The full registry key for an instrument: ``name{k="v",...}``.
+
+    Labels are sorted so the same set always produces the same key;
+    no labels means the key is the bare name.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def base_name_of(full_name: str) -> str:
+    """Strip a label suffix from a full registry key."""
+    return full_name.split("{", 1)[0]
+
+
+def parse_labeled_name(full_name: str) -> tuple[str, dict]:
+    """Invert :func:`labeled_name`: ``name{k="v"}`` -> (name, {k: v})."""
+    if "{" not in full_name:
+        return full_name, {}
+    base, _, raw = full_name.partition("{")
+    labels = {}
+    for pair in raw.rstrip("}").split(","):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        labels[key] = value.strip('"')
+    return base, labels
 
 
 def exponential_buckets(start: float, factor: float,
@@ -46,10 +83,13 @@ PAGES_BUCKETS = exponential_buckets(1, 2.0, 12)
 class Counter:
     """Monotonic total."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "base_name", "labels", "help", "value")
 
-    def __init__(self, name: str, help: str = "") -> None:
-        self.name = name
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None) -> None:
+        self.name = labeled_name(name, labels)
+        self.base_name = name
+        self.labels = dict(labels) if labels else {}
         self.help = help
         self.value = 0
 
@@ -74,10 +114,12 @@ class BoundCounter:
     registry reads it lazily, so registration adds zero run-time cost.
     """
 
-    __slots__ = ("name", "help", "_read")
+    __slots__ = ("name", "base_name", "labels", "help", "_read")
 
     def __init__(self, name: str, read, help: str = "") -> None:
         self.name = name
+        self.base_name = name
+        self.labels = {}
         self.help = help
         self._read = read
 
@@ -92,10 +134,14 @@ class BoundCounter:
 class Gauge:
     """Point-in-time value; remembers last/min/max and sample count."""
 
-    __slots__ = ("name", "help", "value", "min", "max", "samples")
+    __slots__ = ("name", "base_name", "labels", "help", "value", "min",
+                 "max", "samples")
 
-    def __init__(self, name: str, help: str = "") -> None:
-        self.name = name
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None) -> None:
+        self.name = labeled_name(name, labels)
+        self.base_name = name
+        self.labels = dict(labels) if labels else {}
         self.help = help
         self.value = 0.0
         self.min = None
@@ -132,12 +178,14 @@ class Gauge:
 class Histogram:
     """Bucketed distribution; buckets are upper bounds, plus overflow."""
 
-    __slots__ = ("name", "help", "bounds", "counts", "count", "sum",
-                 "min", "max")
+    __slots__ = ("name", "base_name", "labels", "help", "bounds",
+                 "counts", "count", "sum", "min", "max")
 
     def __init__(self, name: str, bounds: list[float] | None = None,
-                 help: str = "") -> None:
-        self.name = name
+                 help: str = "", labels: dict | None = None) -> None:
+        self.name = labeled_name(name, labels)
+        self.base_name = name
+        self.labels = dict(labels) if labels else {}
         self.help = help
         self.bounds = sorted(bounds) if bounds else list(LATENCY_NS_BUCKETS)
         self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
@@ -159,19 +207,21 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
+    def quantile(self, q: float) -> float | None:
         """Approximate ``q``-quantile (0..1) from the bucket counts.
 
         Returns the upper bound of the bucket containing the rank,
         clamped to the observed min/max so tails cannot exceed real
-        samples; the overflow bucket reports the observed max.  0.0
-        when empty.  Exact enough for service-latency p50/p95 style
-        reporting, which is its purpose.
+        samples; the overflow bucket reports the observed max.  ``None``
+        when empty — a cold-start histogram has no p50, and serializing
+        0 would read as "zero latency".  Exact enough for
+        service-latency p50/p95/p99 style reporting, which is its
+        purpose.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = q * self.count
         cumulative = 0
         for bound, bucket_count in zip(self.bounds, self.counts):
@@ -236,17 +286,22 @@ class MetricsRegistry:
             )
         return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter,
-                                   lambda: Counter(name, help))
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._get_or_create(labeled_name(name, labels), Counter,
+                                   lambda: Counter(name, help, labels))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._get_or_create(labeled_name(name, labels), Gauge,
+                                   lambda: Gauge(name, help, labels))
 
     def histogram(self, name: str, bounds: list[float] | None = None,
-                  help: str = "") -> Histogram:
+                  help: str = "",
+                  labels: dict | None = None) -> Histogram:
         return self._get_or_create(
-            name, Histogram, lambda: Histogram(name, bounds, help)
+            labeled_name(name, labels), Histogram,
+            lambda: Histogram(name, bounds, help, labels)
         )
 
     def bind(self, name: str, read, help: str = "") -> BoundCounter:
@@ -265,6 +320,11 @@ class MetricsRegistry:
 
     def get(self, name: str):
         return self._instruments.get(name)
+
+    def instruments(self) -> list:
+        """Every registered instrument, sorted by full name."""
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
 
     def snapshot(self) -> dict:
         """One flat dict over every instrument, sorted by name."""
@@ -291,13 +351,16 @@ class MetricsRegistry:
         for name, instrument_state in state.items():
             kind = instrument_state.get("kind")
             help_text = instrument_state.get("help", "")
+            base, labels = parse_labeled_name(name)
+            labels = labels or None
             if kind == "counter":
-                instrument = self.counter(name, help_text)
+                instrument = self.counter(base, help_text, labels=labels)
             elif kind == "gauge":
-                instrument = self.gauge(name, help_text)
+                instrument = self.gauge(base, help_text, labels=labels)
             elif kind == "histogram":
                 instrument = self.histogram(
-                    name, instrument_state.get("bounds"), help_text
+                    base, instrument_state.get("bounds"), help_text,
+                    labels=labels
                 )
             else:
                 raise ValueError(

@@ -33,11 +33,13 @@ from __future__ import annotations
 #   pid 2 "driver"    tid 0 = fault-batch servicing, tid 1 = eviction
 #   pid 3 "PCIe"      tid 0 = H2D (read) channel, tid 1 = D2H (write)
 #   pid 4 "injector"  tid 0 = injected perturbations (fault injection)
+#   pid 5 "serve"     tid 0 = job queue, tid 1+i = serve/worker-<i>
 
 PID_GPU = 1
 PID_DRIVER = 2
 PID_PCIE = 3
 PID_INJECT = 4
+PID_SERVE = 5
 
 TID_KERNELS = 0
 TID_SM_BASE = 1  # SM i traces on tid TID_SM_BASE + i
@@ -50,10 +52,14 @@ TID_D2H = 1
 
 TID_INJECT = 0
 
+TID_QUEUE = 0
+TID_WORKER_BASE = 1  # serve worker i traces on tid TID_WORKER_BASE + i
+
 #: Category names (Chrome ``cat`` field) per event family.
 CAT_SIM = "sim"
 CAT_FAULT = "fault"
 CAT_INJECT = "inject"
+CAT_SERVE = "serve"
 
 _NS_TO_US = 1e-3
 
@@ -242,3 +248,20 @@ def standard_layout(tracer, num_sms: int) -> None:
     tracer.name_thread(PID_PCIE, TID_D2H, "D2H (write)")
     tracer.name_process(PID_INJECT, "fault injector")
     tracer.name_thread(PID_INJECT, TID_INJECT, "injected events")
+
+
+def serve_layout(tracer, workers: int) -> None:
+    """Track-naming metadata for the service process (pid 5).
+
+    The queue track carries per-job queued async spans and terminal
+    instants; each worker slot gets its own ``serve/worker-<i>`` track
+    for attempt/executing spans, mirroring how SMs get per-unit tracks
+    in :func:`standard_layout`.
+    """
+    if not tracer.enabled:
+        return
+    tracer.name_process(PID_SERVE, "serve")
+    tracer.name_thread(PID_SERVE, TID_QUEUE, "job queue")
+    for i in range(workers):
+        tracer.name_thread(PID_SERVE, TID_WORKER_BASE + i,
+                           f"serve/worker-{i}")

@@ -19,6 +19,20 @@ and asserts the recovery invariants.  See docs/SERVICE.md.
 
 from .chaos import ChaosReport, build_chaos_cells, run_chaos
 from .client import DEFAULT_PORT, ServeClient
+from .events import (
+    DEFAULT_EVENTS_DIR,
+    EVENT_FORMAT,
+    EVENT_KINDS,
+    SCHEDULING_FIELDS,
+    TIMESTAMP_FIELDS,
+    VOLATILE_FIELDS,
+    ServeEventLog,
+    ServiceTracer,
+    canonical_event_lines,
+    canonical_trace_lines,
+    make_event,
+    validate_event,
+)
 from .journal import DEFAULT_JOURNAL_DIR, JOURNAL_FORMAT, JobJournal
 from .queue import (
     ACTIVE_STATES,
@@ -44,9 +58,12 @@ __all__ = [
     "ACTIVE_STATES",
     "CANCELLED",
     "ChaosReport",
+    "DEFAULT_EVENTS_DIR",
     "DEFAULT_JOURNAL_DIR",
     "DEFAULT_PORT",
     "DONE",
+    "EVENT_FORMAT",
+    "EVENT_KINDS",
     "FAILED",
     "FleetOptions",
     "JOURNAL_FORMAT",
@@ -55,13 +72,22 @@ __all__ = [
     "JobQueue",
     "QUEUED",
     "RUNNING",
+    "SCHEDULING_FIELDS",
     "ServeClient",
+    "ServeEventLog",
     "ServiceServer",
+    "ServiceTracer",
     "SimulationService",
     "Supervisor",
     "TERMINAL_STATES",
+    "TIMESTAMP_FIELDS",
+    "VOLATILE_FIELDS",
     "WORKER_MODES",
     "WorkerProcess",
     "build_chaos_cells",
+    "canonical_event_lines",
+    "canonical_trace_lines",
+    "make_event",
     "run_chaos",
+    "validate_event",
 ]

@@ -12,7 +12,9 @@ GET    /v1/jobs/<id>                job status (state machine position)
 GET    /v1/jobs/<id>/result         terminal result (409 until terminal)
 DELETE /v1/jobs/<id>                cancel a queued job
 GET    /v1/healthz                  liveness + drain state
-GET    /v1/metrics                  metrics snapshot incl. p50/p95 latency
+GET    /v1/metrics                  metrics snapshot incl. p50/p95/p99
+GET    /v1/metrics?format=prom      Prometheus text exposition (0.0.4)
+GET    /v1/trace                    merged service Chrome trace
 ====== ============================ =======================================
 
 The handler is deliberately thin: :func:`build_cell` validates the job
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler
+from urllib.parse import parse_qs, urlsplit
 
 from ..config import SimulatorConfig
 from ..errors import (
@@ -124,8 +127,16 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
         def _send(self, code: int, payload: dict,
                   headers: dict[str, str] | None = None) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._send_bytes(code, body, "application/json", headers)
+
+        def _send_text(self, code: int, text: str,
+                       content_type: str) -> None:
+            self._send_bytes(code, text.encode("utf-8"), content_type)
+
+        def _send_bytes(self, code: int, body: bytes, content_type: str,
+                        headers: dict[str, str] | None = None) -> None:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
@@ -152,8 +163,9 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
             return parts[2]
 
         def _dispatch(self) -> None:
-            parts = [part for part in self.path.split("?")[0].split("/")
-                     if part]
+            split = urlsplit(self.path)
+            parts = [part for part in split.path.split("/") if part]
+            self._query = parse_qs(split.query)
             try:
                 self._route(parts)
             except InvalidJobError as exc:
@@ -181,7 +193,25 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                 self._send(200, service.health())
                 return
             if parts[1:] == ["metrics"] and method == "GET":
-                self._send(200, service.metrics_snapshot())
+                fmt = (self._query.get("format") or ["json"])[0]
+                if fmt == "json":
+                    self._send(200, service.metrics_snapshot())
+                elif fmt == "prom":
+                    self._send_text(
+                        200, service.prometheus_metrics(),
+                        "text/plain; version=0.0.4; charset=utf-8")
+                else:
+                    raise InvalidJobError(
+                        f"unknown metrics format {fmt!r}; "
+                        "expected json or prom")
+                return
+            if parts[1:] == ["trace"] and method == "GET":
+                trace = service.trace_dict()
+                if trace is None:
+                    raise JobNotFoundError(
+                        "service tracing is disabled; start the daemon "
+                        "with --service-trace")
+                self._send(200, trace)
                 return
             if parts[1:] == ["jobs"]:
                 if method == "POST":

@@ -149,12 +149,45 @@ class ServeClient:
         kind = error.get("type", "HTTPError")
         return f"server answered {status} ({kind}): {detail}"
 
+    def _request_text(self, path: str) -> str:
+        """One GET whose 200 body is plain text, not JSON."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServeClientError(
+                    f"cannot reach http://{self.host}:{self.port}: {exc}"
+                ) from None
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except ValueError:
+                    decoded = {"raw": raw.decode("utf-8", "replace")}
+                raise ServeClientError(
+                    self._error_message(response.status, decoded),
+                    status=response.status, payload=decoded)
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     # --- API surface -------------------------------------------------------
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def metrics_prom(self) -> str:
+        """The Prometheus text exposition (``?format=prom``)."""
+        return self._request_text("/v1/metrics?format=prom")
+
+    def trace(self) -> dict:
+        """The merged service Chrome trace (404 if tracing is off)."""
+        return self._request("GET", "/v1/trace")
 
     def submit(self, workload: str | dict, config: dict | None = None,
                seed: int | None = None) -> dict:

@@ -1,0 +1,436 @@
+"""Service-level observability: structured event log + job tracing.
+
+Two artifacts make a job's life visible end to end (submit → queue →
+lease → worker attempt → terminal), where before only aggregate
+counters existed:
+
+* :class:`ServeEventLog` — a rotating, schema-checked JSONL log under
+  ``results/.servelog/`` recording every job state transition with the
+  job's correlation id, worker slot, attempt number, and cache
+  disposition.  This is the greppable ground truth for chaos/drift
+  debugging: ``grep '"kind": "revoked"' results/.servelog/*.jsonl``
+  answers "which jobs lost a lease" without reproducing anything.
+* :class:`ServiceTracer` — merges span fragments emitted by the
+  dispatcher threads and the worker *processes* into one Chrome trace
+  on :data:`~repro.obs.tracer.PID_SERVE`: per-job ``queued`` async
+  spans on the queue track, ``attempt-N`` complete spans (with a
+  nested ``executing`` span measured inside the worker process) on
+  per-slot ``serve/worker-<i>`` tracks, and instants for journaled /
+  cache-hit / cache-miss / revoked / quarantined / terminal
+  transitions.  Exported via ``GET /v1/trace`` and validated by
+  :func:`repro.obs.export.validate_chrome_trace`.
+
+**Determinism contract.**  Wall-clock timestamps and the racy
+worker-slot assignment are the only nondeterminism in either artifact;
+both are *named* — :data:`TIMESTAMP_FIELDS`, :data:`SCHEDULING_FIELDS`
+— and the canonical forms (:func:`canonical_event_lines`,
+:func:`canonical_trace_lines`) strip exactly those, so two same-seed
+runs compare byte-identical modulo the declared volatile fields.  The
+tests enforce this.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from ..obs.export import chrome_trace_dict
+from ..obs.tracer import (
+    CAT_SERVE,
+    PID_SERVE,
+    SpanTracer,
+    TID_QUEUE,
+    TID_WORKER_BASE,
+    serve_layout,
+)
+
+#: Event-log schema version, stamped into every record.
+EVENT_FORMAT = 1
+
+#: Default event-log directory (sibling of the journal's default).
+DEFAULT_EVENTS_DIR = Path("results") / ".servelog"
+
+#: Fields that carry wall-clock time — volatile across runs by nature.
+TIMESTAMP_FIELDS = ("ts",)
+#: Fields decided by the dispatcher race (which slot won ``take()``).
+SCHEDULING_FIELDS = ("worker",)
+#: Everything the canonical forms strip.
+VOLATILE_FIELDS = TIMESTAMP_FIELDS + SCHEDULING_FIELDS
+
+#: Every legal state transition, in within-job lifecycle order (the
+#: rank breaks ties when canonicalizing; ties across attempts are
+#: broken by the ``attempt`` field).
+EVENT_KINDS = (
+    "submitted",
+    "journaled",
+    "resumed",
+    "coalesced",
+    "leased",
+    "executing",
+    "cache_hit",
+    "cache_miss",
+    "revoked",
+    "requeued",
+    "quarantined",
+    "terminal",
+    "worker_restart",
+)
+_KIND_RANK = {kind: rank for rank, kind in enumerate(EVENT_KINDS)}
+
+#: Legal ``state`` values on a ``terminal`` event.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+_REQUIRED_FIELDS = ("format", "ts", "kind")
+
+
+def make_event(kind: str, ts: float, job: str | None = None,
+               seq: int | None = None, worker: int | None = None,
+               attempt: int = 0, cache: str | None = None,
+               state: str | None = None,
+               detail: str | None = None) -> dict:
+    """One schema-conforming event record; ``None`` optionals are
+    omitted so the JSONL stays dense."""
+    event: dict = {"format": EVENT_FORMAT, "ts": ts, "kind": kind,
+                   "attempt": attempt}
+    if job is not None:
+        event["job"] = job
+    if seq is not None:
+        event["seq"] = seq
+    if worker is not None:
+        event["worker"] = worker
+    if cache is not None:
+        event["cache"] = cache
+    if state is not None:
+        event["state"] = state
+    if detail is not None:
+        event["detail"] = detail
+    return event
+
+
+def validate_event(event: object) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    problems = []
+    for field in _REQUIRED_FIELDS:
+        if field not in event:
+            problems.append(f"missing required field {field!r}")
+    if event.get("format") not in (None, EVENT_FORMAT):
+        problems.append(
+            f"unknown format {event.get('format')!r} "
+            f"(expected {EVENT_FORMAT})")
+    kind = event.get("kind")
+    if kind is not None and kind not in _KIND_RANK:
+        problems.append(f"unknown kind {kind!r}")
+    if kind == "terminal" and event.get("state") not in TERMINAL_STATES:
+        problems.append(
+            f"terminal event needs state in {TERMINAL_STATES}, got "
+            f"{event.get('state')!r}")
+    if "cache" in event and event["cache"] not in ("hit", "miss"):
+        problems.append(f"cache must be hit|miss, got {event['cache']!r}")
+    for field, type_ in (("ts", (int, float)), ("attempt", int),
+                         ("seq", int), ("worker", int), ("job", str)):
+        if field in event and not isinstance(event[field], type_):
+            problems.append(
+                f"field {field!r} must be {type_}, got "
+                f"{type(event[field]).__name__}")
+    return problems
+
+
+class ServeEventLog:
+    """Rotating JSONL sink for service events.
+
+    Appends are schema-checked (an invalid record raises — emission
+    sites are code we own) and thread-safe; write *failures* never
+    are fatal — a full disk costs observability, not the daemon — they
+    are counted in :attr:`dropped`.  Rotation is size-based: when the
+    live file (``events.jsonl``) exceeds ``max_bytes`` it is renamed to
+    ``events-<n>.jsonl`` and the oldest rotations beyond ``keep`` are
+    pruned.
+    """
+
+    LIVE_NAME = "events.jsonl"
+
+    def __init__(self, root: str | Path = DEFAULT_EVENTS_DIR,
+                 max_bytes: int = 4 << 20, keep: int = 8) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.dropped = 0
+        self.emitted = 0
+        self._lock = threading.Lock()
+        self._path = self.root / self.LIVE_NAME
+
+    @staticmethod
+    def clock() -> float:
+        """Wall-clock epoch seconds — the schema's ``ts`` unit."""
+        return time.time()
+
+    def emit(self, kind: str, job: str | None = None,
+             seq: int | None = None, worker: int | None = None,
+             attempt: int = 0, cache: str | None = None,
+             state: str | None = None, detail: str | None = None) -> dict:
+        """Build, validate, and append one event; returns the record."""
+        event = make_event(kind, self.clock(), job=job, seq=seq,
+                           worker=worker, attempt=attempt, cache=cache,
+                           state=state, detail=detail)
+        problems = validate_event(event)
+        if problems:
+            raise ValueError(
+                f"invalid service event {event!r}: {'; '.join(problems)}")
+        line = json.dumps(event, sort_keys=True)
+        with self._lock:
+            try:
+                self._rotate_if_needed(len(line) + 1)
+                with self._path.open("a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                self.emitted += 1
+            except OSError:
+                self.dropped += 1
+        return event
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = self._path.stat().st_size
+        except OSError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        rotated = sorted(self.root.glob("events-*.jsonl"))
+        next_index = 1
+        if rotated:
+            next_index = max(
+                int(path.stem.split("-")[-1]) for path in rotated) + 1
+        self._path.rename(self.root / f"events-{next_index:04d}.jsonl")
+        rotated = sorted(self.root.glob("events-*.jsonl"))
+        for stale in rotated[:max(0, len(rotated) - self.keep)]:
+            stale.unlink(missing_ok=True)
+
+    @classmethod
+    def read(cls, root: str | Path) -> list[dict]:
+        """Every event under ``root``, rotation order then live file.
+
+        Torn lines (a crash mid-append) are skipped, not fatal — the
+        log is a diagnostic artifact, it must never block reading the
+        rest of itself.
+        """
+        root = Path(root)
+        events: list[dict] = []
+        paths = sorted(root.glob("events-*.jsonl"))
+        live = root / cls.LIVE_NAME
+        if live.exists():
+            paths.append(live)
+        for path in paths:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    continue
+        return events
+
+    @classmethod
+    def scan(cls, root: str | Path) -> list[str]:
+        """Schema problems across every stored event (for tests)."""
+        problems = []
+        for index, event in enumerate(cls.read(root)):
+            for problem in validate_event(event):
+                problems.append(f"event {index}: {problem}")
+        return problems
+
+
+def canonical_event_lines(events: list[dict],
+                          drop: tuple = VOLATILE_FIELDS) -> list[str]:
+    """The determinism-comparable form of an event stream.
+
+    Strips the declared volatile fields, then sorts by (submission
+    order, lifecycle rank, attempt) — which is total and identical
+    across runs whenever the *logical* history matches, regardless of
+    which dispatcher thread won which race.
+    """
+    canonical = []
+    for event in events:
+        stripped = {key: value for key, value in event.items()
+                    if key not in drop}
+        key = (
+            stripped.get("seq", 1 << 30),
+            stripped.get("job", ""),
+            _KIND_RANK.get(stripped.get("kind"), len(EVENT_KINDS)),
+            stripped.get("attempt", 0),
+        )
+        canonical.append((key, json.dumps(stripped, sort_keys=True)))
+    canonical.sort()
+    return [line for _, line in canonical]
+
+
+class ServiceTracer:
+    """Cross-process job tracing merged onto one Chrome trace.
+
+    Fragments arrive from three places — the admission path (queued
+    spans), dispatcher threads (attempt spans, one per lease), and the
+    worker processes themselves (the ``executing`` window, measured
+    with the child's clock and shipped back inside the result message)
+    — and land on a single :class:`~repro.obs.tracer.SpanTracer` under
+    a lock, with all timestamps rebased to this tracer's epoch.
+
+    Child clocks can disagree with the parent's by scheduling noise;
+    the ``executing`` span is clamped into its parent ``attempt-N``
+    window so the merged trace always satisfies the validator's strict
+    nesting rule.
+    """
+
+    def __init__(self, workers: int = 0, max_events: int = 0) -> None:
+        self.epoch = time.time()
+        self.tracer = SpanTracer(max_events=max_events)
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._queue_started: dict[str, float] = {}
+        serve_layout(self.tracer, workers)
+
+    # --- clocks -------------------------------------------------------------
+    def now_ns(self) -> float:
+        """Nanoseconds since the tracer epoch (never negative)."""
+        return self.to_ns(time.time())
+
+    def to_ns(self, wall_seconds: float) -> float:
+        """Rebase an absolute ``time.time()`` stamp onto the epoch."""
+        return max(0.0, (wall_seconds - self.epoch) * 1e9)
+
+    # --- queue-track fragments ----------------------------------------------
+    def job_queued(self, job_id: str, seq: int) -> None:
+        """Open a queued span (emitted only once it closes)."""
+        with self._lock:
+            self._queue_started.setdefault(job_id, self.now_ns())
+
+    def job_coalesced(self, job_id: str, seq: int) -> None:
+        with self._lock:
+            self.tracer.instant(
+                PID_SERVE, TID_QUEUE, "coalesced", self.now_ns(),
+                args={"job": job_id, "seq": seq}, cat=CAT_SERVE)
+
+    def job_journaled(self, job_id: str, seq: int) -> None:
+        with self._lock:
+            self.tracer.instant(
+                PID_SERVE, TID_QUEUE, "journaled", self.now_ns(),
+                args={"job": job_id, "seq": seq}, cat=CAT_SERVE)
+
+    def _close_queued(self, job_id: str, seq: int,
+                      end_ns: float) -> None:
+        start_ns = self._queue_started.pop(job_id, None)
+        if start_ns is None:
+            return
+        self.tracer.async_span(
+            PID_SERVE, TID_QUEUE, "queued", self.tracer.new_id(),
+            start_ns, max(start_ns, end_ns),
+            args={"job": job_id, "seq": seq}, cat=CAT_SERVE)
+
+    def job_leased(self, job_id: str, seq: int, worker: int,
+                   attempt: int) -> float:
+        """Close the queued span; returns the attempt-span start."""
+        with self._lock:
+            now = self.now_ns()
+            self._close_queued(job_id, seq, now)
+            return now
+
+    def job_terminal(self, job_id: str, seq: int, state: str,
+                     cache: str | None = None) -> None:
+        """Terminal instant on the queue track (+ closes the queued
+        span for jobs cancelled before ever being leased)."""
+        with self._lock:
+            now = self.now_ns()
+            self._close_queued(job_id, seq, now)
+            args = {"job": job_id, "seq": seq, "state": state}
+            if cache is not None:
+                args["cache"] = cache
+            self.tracer.instant(PID_SERVE, TID_QUEUE,
+                                f"terminal:{state}", now, args=args,
+                                cat=CAT_SERVE)
+
+    def queue_depth(self, depth: int, running: int) -> None:
+        with self._lock:
+            self.tracer.counter(
+                PID_SERVE, TID_QUEUE, "queue", self.now_ns(),
+                {"depth": depth, "running": running})
+
+    # --- worker-track fragments ---------------------------------------------
+    def attempt_finished(self, job_id: str, seq: int, worker: int,
+                         attempt: int, start_ns: float, outcome: str,
+                         cache: str | None = None,
+                         exec_window: tuple | None = None) -> None:
+        """One complete lease on a worker track: the ``attempt-N``
+        span, the worker-measured ``executing`` span nested (and
+        clamped) inside it, and the cache-disposition instant."""
+        tid = TID_WORKER_BASE + worker
+        with self._lock:
+            end_ns = max(start_ns, self.now_ns())
+            args = {"job": job_id, "seq": seq, "worker": worker,
+                    "outcome": outcome}
+            self.tracer.complete(PID_SERVE, tid, f"attempt-{attempt}",
+                                 start_ns, end_ns, args=args,
+                                 cat=CAT_SERVE)
+            if exec_window is not None:
+                exec_start = min(max(self.to_ns(exec_window[0]),
+                                     start_ns), end_ns)
+                exec_end = min(max(self.to_ns(exec_window[1]),
+                                   exec_start), end_ns)
+                self.tracer.complete(
+                    PID_SERVE, tid, "executing", exec_start, exec_end,
+                    args={"job": job_id, "seq": seq}, cat=CAT_SERVE)
+            if cache is not None:
+                self.tracer.instant(
+                    PID_SERVE, tid, f"cache_{cache}", end_ns,
+                    args={"job": job_id, "seq": seq}, cat=CAT_SERVE)
+
+    def lease_revoked(self, job_id: str, seq: int, worker: int,
+                      attempt: int, requeued: bool) -> None:
+        with self._lock:
+            self.tracer.instant(
+                PID_SERVE, TID_WORKER_BASE + worker,
+                "quarantined" if not requeued else "revoked",
+                self.now_ns(),
+                args={"job": job_id, "seq": seq, "attempt": attempt},
+                cat=CAT_SERVE)
+
+    def job_requeued(self, job_id: str, seq: int) -> None:
+        """Re-open the queued span after a revocation."""
+        with self._lock:
+            self._queue_started[job_id] = self.now_ns()
+
+    # --- export -------------------------------------------------------------
+    def trace_dict(self) -> dict:
+        """The merged Chrome trace (open queued spans stay pending —
+        they are emitted when they close, so the export always
+        validates)."""
+        with self._lock:
+            return chrome_trace_dict(self.tracer)
+
+
+def canonical_trace_lines(trace: dict) -> list[str]:
+    """The determinism-comparable form of a merged service trace.
+
+    Drops metadata and counter samples (track naming / queue-depth
+    values are layout- and timing-dependent respectively), strips
+    timestamps, durations, async-span ids, the tid (worker-slot
+    assignment is a dispatcher race), and the ``worker`` arg, then
+    sorts.  What remains is the logical span history per job.
+    """
+    lines = []
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") in ("M", "C"):
+            continue
+        stripped = {key: value for key, value in event.items()
+                    if key not in ("ts", "dur", "tid", "id")}
+        args = dict(stripped.get("args") or {})
+        for field in SCHEDULING_FIELDS:
+            args.pop(field, None)
+        if args:
+            stripped["args"] = args
+        else:
+            stripped.pop("args", None)
+        lines.append(json.dumps(stripped, sort_keys=True))
+    lines.sort()
+    return lines

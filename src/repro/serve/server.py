@@ -37,14 +37,17 @@ from __future__ import annotations
 import signal
 import sys
 import threading
+import time
 from http.server import ThreadingHTTPServer
 
 from .. import __version__
 from ..errors import QueueFullError, ServeError, WorkerCrashError
 from ..obs.metrics import MetricsRegistry
+from ..obs.prom import prometheus_text
 from ..stats import FailedRun
 from ..sweep import RunCache, SweepCell, execute_cell
 from .api import make_handler
+from .events import ServeEventLog, ServiceTracer
 from .journal import JobJournal
 from .queue import Job, JobQueue
 from .supervisor import FleetOptions, Supervisor
@@ -68,8 +71,8 @@ class _ThreadBackend:
         self._runner = runner or (
             lambda cell: execute_cell(cell, cache=service.cache))
         self._threads = [
-            threading.Thread(target=self._work, name=f"serve-worker-{i}",
-                             daemon=True)
+            threading.Thread(target=self._work, args=(i,),
+                             name=f"serve-worker-{i}", daemon=True)
             for i in range(jobs)
         ]
         self._idle = threading.Semaphore(0)
@@ -82,7 +85,7 @@ class _ThreadBackend:
     def descriptor(self) -> dict:
         return {"worker_mode": "thread"}
 
-    def _work(self) -> None:
+    def _work(self, index: int) -> None:
         service = self.service
         while True:
             job = service.queue.take()
@@ -90,7 +93,13 @@ class _ThreadBackend:
                 self._idle.release()
                 return
             job.attempts += 1
+            service.note_leased(job, worker=index)
+            start_ns = None
+            if service.tracer is not None:
+                start_ns = service.tracer.job_leased(
+                    job.id, job.seq, index, job.attempts)
             service.sample_gauges()
+            exec_start = time.time()
             try:
                 result, cache_hit = self._runner(job.cell)
             except Exception as exc:  # noqa: BLE001 — keep serving
@@ -98,8 +107,19 @@ class _ThreadBackend:
                     job.cell.workload_spec.get("name", "?"),
                     type(exc).__name__, str(exc))
                 cache_hit = False
-            service.finish_job(job, result, cache_hit)
+            exec_end = time.time()
+            if service.tracer is not None and start_ns is not None:
+                service.tracer.attempt_finished(
+                    job.id, job.seq, index, job.attempts, start_ns,
+                    outcome="failed" if isinstance(result, FailedRun)
+                    else "done",
+                    cache="hit" if cache_hit else "miss",
+                    exec_window=(exec_start, exec_end))
+            service.finish_job(job, result, cache_hit, worker=index)
             service.sample_gauges()
+
+    def sample_metrics(self) -> None:
+        """No per-worker gauges in thread mode."""
 
     def drain(self, timeout: float | None = None) -> bool:
         if self._drained:
@@ -129,6 +149,8 @@ class SimulationService:
         verbose: bool = False,
         worker_mode: str = "thread",
         fleet: FleetOptions | None = None,
+        events: ServeEventLog | None = None,
+        tracer: ServiceTracer | None = None,
     ) -> None:
         if jobs < 1:
             raise ServeError(f"worker count must be >= 1, got {jobs}")
@@ -147,16 +169,15 @@ class SimulationService:
         self.verbose = verbose
         self.worker_mode = worker_mode
         self.jobs = jobs
+        self.events = events
+        self.tracer = tracer
         self.queue = JobQueue(capacity=queue_limit)
-        if worker_mode == "process":
-            self._backend: Supervisor | _ThreadBackend = Supervisor(
-                self, jobs=jobs, options=fleet)
-        else:
-            self._backend = _ThreadBackend(self, jobs=jobs, runner=runner)
         self._started = False
         self._draining = threading.Event()
         self._drained = False
 
+        # The registry must exist before the backend: the supervisor
+        # registers its per-worker instruments at construction time.
         registry = MetricsRegistry()
         self.registry = registry
         self._m_submitted = registry.counter(
@@ -202,6 +223,12 @@ class SimulationService:
             "serve.service_latency_ns",
             help="submit-to-terminal wall latency per job")
 
+        if worker_mode == "process":
+            self._backend: Supervisor | _ThreadBackend = Supervisor(
+                self, jobs=jobs, options=fleet)
+        else:
+            self._backend = _ThreadBackend(self, jobs=jobs, runner=runner)
+
     # --- lifecycle ---------------------------------------------------------
     def start(self) -> int:
         """Replay the journal (and lease WALs) and start the backend;
@@ -222,6 +249,9 @@ class SimulationService:
                 if not coalesced:
                     resumed += 1
                     job.attempts = attempts.get(job_id, 0)
+                    self._event("resumed", job, attempt=job.attempts)
+                    if self.tracer is not None:
+                        self.tracer.job_queued(job.id, job.seq)
             self._m_resumed.inc(resumed)
             self._m_journal_quarantined.inc(self.journal.quarantined)
         self.sample_gauges()
@@ -230,7 +260,29 @@ class SimulationService:
         return resumed
 
     # --- backend callbacks --------------------------------------------------
-    def finish_job(self, job: Job, result, cache_hit: bool) -> None:
+    def _event(self, kind: str, job: Job | None = None,
+               worker: int | None = None, attempt: int = 0,
+               cache: str | None = None, state: str | None = None,
+               detail: str | None = None) -> None:
+        """Emit one structured event (no-op when the log is off)."""
+        if self.events is None:
+            return
+        self.events.emit(
+            kind,
+            job=job.id if job is not None else None,
+            seq=job.seq if job is not None else None,
+            worker=worker, attempt=attempt, cache=cache, state=state,
+            detail=detail)
+
+    def note_leased(self, job: Job, worker: int | None = None) -> None:
+        """A backend took the job off the queue (attempt already
+        bumped)."""
+        self._event("leased", job, worker=worker, attempt=job.attempts)
+        self._event("executing", job, worker=worker,
+                    attempt=job.attempts)
+
+    def finish_job(self, job: Job, result, cache_hit: bool,
+                   worker: int | None = None) -> None:
         """Publish one job's terminal state (both backends land here).
 
         Forgets *before* publishing the terminal state, so "job is
@@ -241,15 +293,24 @@ class SimulationService:
         if self.journal is not None:
             self.journal.forget(job.id)
         self.queue.complete(job, result, cache_hit)
+        cache = "hit" if cache_hit else "miss"
         if isinstance(result, FailedRun):
             self._m_failed.inc()
+            state = "failed"
         else:
             self._m_done.inc()
+            state = "done"
         if cache_hit:
             self._m_cache_hits.inc()
         else:
             self._m_cache_misses.inc()
         self._h_latency.observe(job.service_latency_ns())
+        self._event("cache_" + cache, job, worker=worker,
+                    attempt=job.attempts, cache=cache)
+        self._event("terminal", job, worker=worker,
+                    attempt=job.attempts, cache=cache, state=state)
+        if self.tracer is not None:
+            self.tracer.job_terminal(job.id, job.seq, state, cache=cache)
 
     def quarantine_job(self, job: Job, attempts: int,
                        crash: WorkerCrashError) -> None:
@@ -264,13 +325,26 @@ class SimulationService:
         if self.verbose:
             print(f"[serve] job {job.id} quarantined after "
                   f"{attempts} attempt(s)", file=sys.stderr)
+        self._event("quarantined", job, attempt=attempts,
+                    detail=str(crash))
         self.finish_job(job, result, cache_hit=False)
 
-    def note_worker_restart(self) -> None:
+    def note_worker_restart(self, worker: int | None = None,
+                            detail: str | None = None) -> None:
         self._m_worker_restarts.inc()
+        self._event("worker_restart", worker=worker, detail=detail)
 
-    def note_lease_revoked(self) -> None:
+    def note_lease_revoked(self, job: Job | None = None,
+                           worker: int | None = None,
+                           attempt: int = 0) -> None:
         self._m_lease_revocations.inc()
+        if job is not None:
+            self._event("revoked", job, worker=worker, attempt=attempt)
+
+    def note_requeued(self, job: Job) -> None:
+        self._event("requeued", job, attempt=job.attempts)
+        if self.tracer is not None:
+            self.tracer.job_requeued(job.id, job.seq)
 
     def note_cache_quarantined(self, count: int) -> None:
         if count:
@@ -290,10 +364,19 @@ class SimulationService:
             raise
         if coalesced:
             self._m_coalesced.inc()
+            self._event("coalesced", job, attempt=job.attempts)
+            if self.tracer is not None:
+                self.tracer.job_coalesced(job.id, job.seq)
         else:
             self._m_submitted.inc()
+            self._event("submitted", job)
+            if self.tracer is not None:
+                self.tracer.job_queued(job.id, job.seq)
             if self.journal is not None:
                 self.journal.record(job)
+                self._event("journaled", job)
+                if self.tracer is not None:
+                    self.tracer.job_journaled(job.id, job.seq)
         self.sample_gauges()
         return job, coalesced
 
@@ -303,13 +386,21 @@ class SimulationService:
         self._h_latency.observe(job.service_latency_ns())
         if self.journal is not None:
             self.journal.forget(job.id)
+        self._event("terminal", job, attempt=job.attempts,
+                    state="cancelled")
+        if self.tracer is not None:
+            self.tracer.job_terminal(job.id, job.seq, "cancelled")
         self.sample_gauges()
         return job
 
     # --- reporting ----------------------------------------------------------
     def sample_gauges(self) -> None:
-        self._g_depth.set(self.queue.depth)
-        self._g_running.set(self.queue.running)
+        depth = self.queue.depth
+        running = self.queue.running
+        self._g_depth.set(depth)
+        self._g_running.set(running)
+        if self.tracer is not None:
+            self.tracer.queue_depth(depth, running)
 
     # Backwards-compatible alias (pre-fleet name).
     _sample_gauges = sample_gauges
@@ -333,12 +424,26 @@ class SimulationService:
 
     def metrics_snapshot(self) -> dict:
         self.sample_gauges()
+        self._backend.sample_metrics()
         snapshot = self.registry.snapshot()
-        snapshot["serve.service_latency_ns_p50"] = \
-            self._h_latency.quantile(0.50)
-        snapshot["serve.service_latency_ns_p95"] = \
-            self._h_latency.quantile(0.95)
+        for q, suffix in ((0.50, "_p50"), (0.95, "_p95"),
+                          (0.99, "_p99")):
+            value = self._h_latency.quantile(q)
+            if value is not None:
+                snapshot[f"serve.service_latency_ns{suffix}"] = value
         return snapshot
+
+    def prometheus_metrics(self) -> str:
+        """The same registry in Prometheus text exposition format."""
+        self.sample_gauges()
+        self._backend.sample_metrics()
+        return prometheus_text(self.registry)
+
+    def trace_dict(self) -> dict | None:
+        """The merged service trace, or ``None`` when tracing is off."""
+        if self.tracer is None:
+            return None
+        return self.tracer.trace_dict()
 
     # --- shutdown -----------------------------------------------------------
     def drain(self, timeout: float | None = None) -> bool:
@@ -423,12 +528,15 @@ def run_server(
     verbose: bool = False,
     worker_mode: str = "process",
     fleet: FleetOptions | None = None,
+    events: ServeEventLog | None = None,
+    tracer: ServiceTracer | None = None,
 ) -> int:
     """The ``repro serve`` entry point: boot, announce, block, drain."""
     service = SimulationService(jobs=jobs, queue_limit=queue_limit,
                                 cache=cache, journal=journal,
                                 verbose=verbose, worker_mode=worker_mode,
-                                fleet=fleet)
+                                fleet=fleet, events=events,
+                                tracer=tracer)
     resumed = service.start()
     server = ServiceServer(service, host=host, port=port)
     server.install_signal_handlers()

@@ -97,6 +97,9 @@ class Lease:
     worker: int
     attempt: int
     granted_at: float = field(default_factory=time.monotonic)
+    #: Attempt-span start on the service tracer's clock (None when
+    #: tracing is off); kept here so the crash path can close the span.
+    span_start_ns: float | None = None
 
 
 class Supervisor:
@@ -120,6 +123,30 @@ class Supervisor:
         self._drained = False
         self._draining = threading.Event()
         self.restarts = 0
+
+        # Per-worker instruments, labelled by slot (service.registry
+        # exists before the backend — see SimulationService.__init__).
+        registry = service.registry
+        self._m_leases = []
+        self._m_restarts = []
+        self._g_inflight = []
+        self._g_heartbeat_age = []
+        for slot in range(jobs):
+            labels = {"worker": str(slot)}
+            self._m_leases.append(registry.counter(
+                "serve.worker.leases",
+                "job leases granted to this worker slot", labels=labels))
+            self._m_restarts.append(registry.counter(
+                "serve.worker.restarts",
+                "respawns of this worker slot", labels=labels))
+            self._g_inflight.append(registry.gauge(
+                "serve.worker.inflight",
+                "jobs currently leased to this worker slot (0 or 1)",
+                labels=labels))
+            self._g_heartbeat_age.append(registry.gauge(
+                "serve.worker.heartbeat_age_seconds",
+                "seconds since this worker's last heartbeat",
+                labels=labels))
 
     # --- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -165,10 +192,24 @@ class Supervisor:
 
     def _count_restart(self, slot: int, why: str) -> None:
         self.restarts += 1
-        self.service.note_worker_restart()
+        self._m_restarts[slot].inc()
+        self.service.note_worker_restart(worker=slot, detail=why)
         if self.service.verbose:
             print(f"[serve] worker {slot} {why}; respawning",
                   file=sys.stderr)
+
+    def sample_metrics(self) -> None:
+        """Refresh the per-worker gauges (called at snapshot time)."""
+        now = time.monotonic()
+        with self._lock:
+            for slot in range(self.jobs):
+                self._g_inflight[slot].set(
+                    1 if slot in self._leases else 0)
+                worker = self._workers[slot]
+                age = 0.0
+                if worker is not None and worker.is_alive():
+                    age = max(0.0, now - worker.last_heartbeat)
+                self._g_heartbeat_age[slot].set(age)
 
     # --- the dispatch loop --------------------------------------------------
     def _dispatch(self, slot: int) -> None:
@@ -183,11 +224,18 @@ class Supervisor:
             self.service.sample_gauges()
 
     def _run_leased(self, slot: int, job: Job) -> None:
-        journal = self.service.journal
+        service = self.service
+        journal = service.journal
         job.attempts += 1
         lease = Lease(job=job, worker=slot, attempt=job.attempts)
+        if service.tracer is not None:
+            lease.span_start_ns = service.tracer.job_leased(
+                job.id, job.seq, slot, job.attempts)
         with self._lock:
             self._leases[slot] = lease
+        self._m_leases[slot].inc()
+        self._g_inflight[slot].set(1)
+        service.note_leased(job, worker=slot)
         if journal is not None:
             journal.record_lease(slot, job, job.attempts)
         payload = {
@@ -207,6 +255,7 @@ class Supervisor:
         finally:
             with self._lock:
                 self._leases.pop(slot, None)
+            self._g_inflight[slot].set(0)
         if journal is not None:
             journal.forget_lease(slot, job.id)
         if outcome["kind"] == "failed":
@@ -214,9 +263,19 @@ class Supervisor:
                 FailedRun.from_json_dict(outcome["payload"])
         else:
             result = SimStats.from_json_dict(outcome["payload"])
-        self.service.note_cache_quarantined(
+        service.note_cache_quarantined(
             outcome.get("cache_quarantined", 0))
-        self.service.finish_job(job, result, outcome["cache_hit"])
+        if service.tracer is not None \
+                and lease.span_start_ns is not None:
+            service.tracer.attempt_finished(
+                job.id, job.seq, slot, job.attempts,
+                lease.span_start_ns,
+                outcome="failed" if outcome["kind"] == "failed"
+                else "done",
+                cache="hit" if outcome["cache_hit"] else "miss",
+                exec_window=outcome.get("exec_window"))
+        service.finish_job(job, result, outcome["cache_hit"],
+                           worker=slot)
 
     def _revoke(self, slot: int, crash: WorkerCrashError) -> None:
         """The crash path: replay the dead worker's WAL, requeue or
@@ -246,13 +305,26 @@ class Supervisor:
         if not owed and lease is not None:
             owed.append((lease.job, lease.attempt))
 
+        service = self.service
         for job, attempt in owed:
-            self.service.note_lease_revoked()
-            if attempt >= self.options.max_attempts:
-                self.service.quarantine_job(job, attempt, crash)
+            service.note_lease_revoked(job, worker=slot,
+                                       attempt=attempt)
+            quarantine = attempt >= self.options.max_attempts
+            if service.tracer is not None:
+                if lease is not None and lease.job is job \
+                        and lease.span_start_ns is not None:
+                    service.tracer.attempt_finished(
+                        job.id, job.seq, slot, attempt,
+                        lease.span_start_ns, outcome="revoked")
+                service.tracer.lease_revoked(
+                    job.id, job.seq, slot, attempt,
+                    requeued=not quarantine)
+            if quarantine:
+                service.quarantine_job(job, attempt, crash)
             else:
                 time.sleep(self.options.backoff_for(attempt))
-                self.service.queue.requeue(job)
+                service.queue.requeue(job)
+                service.note_requeued(job)
         self._spawn(slot)
 
     def _match_lease(self, entry: dict, lease: Lease | None) -> Job | None:

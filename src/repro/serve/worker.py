@@ -117,7 +117,12 @@ def _worker_main(index: int, conn, cache_dir: str | None,
                 time.sleep(profile.stall_seconds)
 
         quarantined_before = cache.quarantined if cache else 0
+        # The executing window, measured with the child's own clock and
+        # shipped with the result so the parent's ServiceTracer can nest
+        # it inside the attempt span (clamped there — clocks may skew).
+        exec_start = time.time()
         result, cache_hit = execute_cell(cell, cache=cache)
+        exec_end = time.time()
         quarantined = (cache.quarantined - quarantined_before) \
             if cache else 0
 
@@ -132,6 +137,7 @@ def _worker_main(index: int, conn, cache_dir: str | None,
             "payload": result.to_json_dict(),
             "cache_hit": cache_hit,
             "cache_quarantined": quarantined,
+            "exec_window": (exec_start, exec_end),
         }))
 
 

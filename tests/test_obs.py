@@ -85,6 +85,141 @@ class TestMetrics:
             exponential_buckets(0, 2.0, 4)
 
 
+class TestLabeledInstruments:
+    def test_labeled_name_round_trip(self):
+        from repro.obs.metrics import (
+            base_name_of,
+            labeled_name,
+            parse_labeled_name,
+        )
+
+        full = labeled_name("serve.worker.inflight",
+                            {"worker": "1", "zone": "a"})
+        assert full == 'serve.worker.inflight{worker="1",zone="a"}'
+        assert base_name_of(full) == "serve.worker.inflight"
+        assert parse_labeled_name(full) == \
+            ("serve.worker.inflight", {"worker": "1", "zone": "a"})
+        assert labeled_name("plain", None) == "plain"
+        assert parse_labeled_name("plain") == ("plain", {})
+
+    def test_label_variants_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        zero = registry.gauge("w.inflight", labels={"worker": "0"})
+        one = registry.gauge("w.inflight", labels={"worker": "1"})
+        assert zero is not one
+        assert zero is registry.gauge("w.inflight",
+                                      labels={"worker": "0"})
+        zero.set(1)
+        snap = registry.snapshot()
+        assert snap['w.inflight{worker="0"}'] == 1
+        assert snap['w.inflight{worker="1"}'] == 0
+        assert {i.base_name for i in registry.instruments()} == \
+            {"w.inflight"}
+
+
+class TestPrometheusExposition:
+    @staticmethod
+    def _registry():
+        registry = MetricsRegistry()
+        registry.counter("serve.jobs_done", help="terminal ok").inc(3)
+        registry.gauge("serve.queue_depth").set(2)
+        for slot in (0, 1):
+            registry.counter("serve.worker.leases",
+                             labels={"worker": str(slot)}).inc(slot)
+        hist = registry.histogram("serve.latency_ns",
+                                  bounds=[10.0, 100.0])
+        for value in (5.0, 50.0, 500.0):
+            hist.observe(value)
+        return registry
+
+    def test_text_round_trips_through_strict_parser(self):
+        from repro.obs import parse_prometheus_text, prometheus_text
+
+        text = prometheus_text(self._registry())
+        assert "# HELP serve_jobs_done terminal ok" in text
+        assert "# TYPE serve_jobs_done counter" in text
+        assert "# TYPE serve_latency_ns histogram" in text
+        samples = parse_prometheus_text(text)
+        assert samples["serve_jobs_done"] == 3
+        assert samples["serve_queue_depth"] == 2
+        assert samples['serve_worker_leases{worker="0"}'] == 0
+        assert samples['serve_worker_leases{worker="1"}'] == 1
+        assert samples['serve_latency_ns_bucket{le="10"}'] == 1
+        assert samples['serve_latency_ns_bucket{le="100"}'] == 2
+        assert samples['serve_latency_ns_bucket{le="+Inf"}'] == 3
+        assert samples["serve_latency_ns_sum"] == 555.0
+        assert samples["serve_latency_ns_count"] == 3
+
+    def test_label_variants_share_one_family_header(self):
+        from repro.obs import prometheus_text
+
+        text = prometheus_text(self._registry())
+        assert text.count("# TYPE serve_worker_leases counter") == 1
+
+    def test_name_sanitization(self):
+        from repro.obs.prom import prometheus_name
+
+        assert prometheus_name("serve.jobs_done") == "serve_jobs_done"
+        assert prometheus_name("9lives") == "_9lives"
+        assert prometheus_name("a-b c") == "a_b_c"
+
+    def test_parser_rejects_malformed_text(self):
+        from repro.obs import parse_prometheus_text
+
+        for bad in (
+            "no_type_declared 1\n",
+            "# TYPE x sideways\nx 1\n",
+            "# TYPE x counter\nx one\n",
+            '# TYPE x counter\nx{l=unquoted} 1\n',
+            # Non-cumulative buckets.
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+            "h_count 3\n",
+            # +Inf bucket disagrees with _count.
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 3\n'
+            "h_count 7\n",
+            # +Inf bucket missing entirely.
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_count 1\n',
+        ):
+            with pytest.raises(ValueError):
+                parse_prometheus_text(bad)
+
+    def test_empty_histogram_is_still_legal_exposition(self):
+        from repro.obs import parse_prometheus_text, prometheus_text
+
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=[1.0])
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples['h_bucket{le="+Inf"}'] == 0
+        assert samples["h_count"] == 0
+
+
+class TestServeTrackLayout:
+    def test_serve_layout_names_queue_and_worker_tracks(self):
+        from repro.obs import serve_layout
+        from repro.obs.tracer import (
+            PID_SERVE,
+            TID_QUEUE,
+            TID_WORKER_BASE,
+        )
+
+        tracer = SpanTracer()
+        serve_layout(tracer, workers=2)
+        metadata = {
+            (e["pid"], e.get("tid"), e["name"]): e["args"]["name"]
+            for e in tracer.events() if e["ph"] == "M"
+        }
+        assert metadata[(PID_SERVE, 0, "process_name")] == "serve"
+        assert metadata[(PID_SERVE, TID_QUEUE, "thread_name")] == \
+            "job queue"
+        for slot in (0, 1):
+            assert metadata[
+                (PID_SERVE, TID_WORKER_BASE + slot, "thread_name")
+            ] == f"serve/worker-{slot}"
+
+
 # ---------------------------------------------------------------- tracer unit
 class TestTracer:
     def test_null_tracer_is_inert(self):

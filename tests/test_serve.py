@@ -10,6 +10,8 @@ runners instead of timing games, and no wall-clock assertions.
 """
 
 import json
+import pathlib
+import re
 import threading
 
 import pytest
@@ -387,8 +389,14 @@ class TestClientConnectRetries:
 
 
 class TestHistogramQuantile:
-    def test_empty_is_zero(self):
-        assert Histogram("h").quantile(0.5) == 0.0
+    def test_empty_is_none_not_zero(self):
+        # An empty histogram has no quantiles; returning 0 would let a
+        # dashboard read "p99 = 0ns" off a service that never ran a job.
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.99) is None
+        histogram.observe(7)
+        assert histogram.quantile(0.99) is not None
 
     def test_clamped_to_observed_range(self):
         histogram = Histogram("h", bounds=[10, 100, 1000])
@@ -408,6 +416,187 @@ class TestHistogramQuantile:
     def test_bad_q_raises(self):
         with pytest.raises(ValueError):
             Histogram("h").quantile(1.5)
+
+
+class TestServeEvents:
+    def test_make_event_omits_none_optionals(self):
+        from repro.serve import EVENT_FORMAT, make_event
+
+        event = make_event("submitted", ts=1.5, job="j1", seq=1)
+        assert event == {"format": EVENT_FORMAT, "ts": 1.5,
+                         "kind": "submitted", "attempt": 0,
+                         "job": "j1", "seq": 1}
+
+    def test_validate_event_rejections(self):
+        from repro.serve import make_event, validate_event
+
+        assert validate_event(make_event("leased", ts=0.0, job="j",
+                                         worker=1, attempt=2)) == []
+        assert validate_event([]) != []
+        assert validate_event({}) != []  # required fields missing
+        for bad in (
+            make_event("bogus-kind", ts=0.0),
+            make_event("terminal", ts=0.0),  # no state
+            make_event("terminal", ts=0.0, state="exploded"),
+            make_event("cache_hit", ts=0.0, cache="maybe"),
+            {**make_event("leased", ts=0.0), "worker": "zero"},
+            {**make_event("leased", ts=0.0), "format": 99},
+        ):
+            assert validate_event(bad), bad
+
+    def test_every_kind_has_a_rank(self):
+        from repro.serve import EVENT_KINDS, canonical_event_lines, \
+            make_event
+
+        events = [make_event(kind, ts=float(i), job="j", seq=1)
+                  for i, kind in enumerate(reversed(EVENT_KINDS))]
+        lines = canonical_event_lines(events)
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == [k for k in EVENT_KINDS if k in kinds]
+
+
+class TestServeEventLog:
+    def test_emit_read_round_trip_and_volatile_strip(self, tmp_path):
+        from repro.serve import (
+            ServeEventLog,
+            canonical_event_lines,
+        )
+
+        log = ServeEventLog(tmp_path / "servelog")
+        log.emit("submitted", job="j000001-abc", seq=1)
+        log.emit("leased", job="j000001-abc", seq=1, worker=0, attempt=1)
+        log.emit("terminal", job="j000001-abc", seq=1, state="done",
+                 cache="miss")
+        stored = ServeEventLog.read(tmp_path / "servelog")
+        assert [event["kind"] for event in stored] == \
+            ["submitted", "leased", "terminal"]
+        assert ServeEventLog.scan(tmp_path / "servelog") == []
+        for line in canonical_event_lines(stored):
+            record = json.loads(line)
+            assert "ts" not in record and "worker" not in record
+
+    def test_invalid_event_raises(self, tmp_path):
+        from repro.serve import ServeEventLog
+
+        log = ServeEventLog(tmp_path / "servelog")
+        with pytest.raises(ValueError):
+            log.emit("not-a-kind")
+        assert log.emitted == 0
+
+    def test_rotation_prunes_beyond_keep(self, tmp_path):
+        from repro.serve import ServeEventLog
+
+        root = tmp_path / "servelog"
+        log = ServeEventLog(root, max_bytes=200, keep=2)
+        for seq in range(40):
+            log.emit("submitted", job=f"j{seq:06d}-deadbeef", seq=seq)
+        rotated = sorted(p.name for p in root.glob("events-*.jsonl"))
+        assert len(rotated) == 2  # older rotations pruned
+        assert (root / ServeEventLog.LIVE_NAME).exists()
+        assert log.emitted == 40 and log.dropped == 0
+        # The retained tail is still readable and schema-clean.
+        assert ServeEventLog.scan(root) == []
+        assert all(event["seq"] >= 0 for event in ServeEventLog.read(root))
+
+    def test_torn_lines_are_skipped_not_fatal(self, tmp_path):
+        from repro.serve import ServeEventLog
+
+        root = tmp_path / "servelog"
+        log = ServeEventLog(root)
+        log.emit("submitted", job="j000001-abc", seq=1)
+        with (root / ServeEventLog.LIVE_NAME).open("a") as handle:
+            handle.write('{"format": 1, "ts": 2.0, "kind": "lea')
+        assert [e["kind"] for e in ServeEventLog.read(root)] == \
+            ["submitted"]
+
+
+class TestServiceTracer:
+    def test_full_lifecycle_validates_and_canonicalizes(self):
+        from repro.obs import validate_chrome_trace
+        from repro.serve import ServiceTracer, canonical_trace_lines
+
+        tracer = ServiceTracer(workers=2)
+        tracer.job_queued("j1", 1)
+        tracer.job_journaled("j1", 1)
+        start = tracer.job_leased("j1", 1, worker=0, attempt=1)
+        tracer.attempt_finished(
+            "j1", 1, worker=0, attempt=1, start_ns=start,
+            outcome="done", cache="miss",
+            exec_window=(tracer.epoch, tracer.epoch + 1e-4))
+        tracer.job_terminal("j1", 1, "done", cache="miss")
+        tracer.queue_depth(0, 0)
+        trace = tracer.trace_dict()
+        validate_chrome_trace(trace)
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert {"queued", "journaled", "attempt-1", "executing",
+                "cache_miss", "terminal:done"} <= names
+        for line in canonical_trace_lines(trace):
+            record = json.loads(line)
+            assert record["ph"] not in ("M", "C")
+            for field in ("ts", "dur", "tid", "id"):
+                assert field not in record
+            assert "worker" not in record.get("args", {})
+
+    def test_exec_window_clamped_into_attempt_span(self):
+        from repro.obs import validate_chrome_trace
+        from repro.serve import ServiceTracer
+
+        tracer = ServiceTracer(workers=1)
+        tracer.job_queued("j1", 1)
+        start = tracer.job_leased("j1", 1, worker=0, attempt=1)
+        # A skewed child clock reports a window outside the attempt.
+        tracer.attempt_finished(
+            "j1", 1, worker=0, attempt=1, start_ns=start,
+            outcome="done",
+            exec_window=(tracer.epoch - 10.0, tracer.epoch + 1e9))
+        trace = tracer.trace_dict()
+        validate_chrome_trace(trace)
+        spans = {e["name"]: e for e in trace["traceEvents"]
+                 if e.get("ph") == "X"}
+        attempt, executing = spans["attempt-1"], spans["executing"]
+        assert attempt["ts"] <= executing["ts"]
+        assert executing["ts"] + executing["dur"] <= \
+            attempt["ts"] + attempt["dur"]
+
+    def test_cancel_before_lease_still_closes_queued_span(self):
+        from repro.obs import validate_chrome_trace
+        from repro.serve import ServiceTracer
+
+        tracer = ServiceTracer(workers=1)
+        tracer.job_queued("j1", 1)
+        tracer.job_terminal("j1", 1, "cancelled")
+        trace = tracer.trace_dict()
+        validate_chrome_trace(trace)
+        phases = [e["ph"] for e in trace["traceEvents"]
+                  if e.get("name") == "queued"]
+        assert phases == ["b", "e"]
+
+
+class TestMetricsDocSync:
+    """docs/SERVICE.md's metric table is the complete reference: every
+    registered ``serve.*`` base name is documented, and every
+    documented name is actually registered — in both directions, so
+    neither the code nor the doc can drift alone."""
+
+    def test_metrics_table_matches_registry(self, tmp_path):
+        doc = (pathlib.Path(__file__).resolve().parent.parent
+               / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+        rows = re.findall(r"^\| `(serve\.[a-z_.]+)`", doc, re.MULTILINE)
+        assert rows, "docs/SERVICE.md lost its metrics table"
+        documented = set(rows)
+        assert len(rows) == len(documented), "duplicate table rows"
+        # Process mode registers the full surface, including the
+        # per-worker labelled instruments (construction only — no
+        # worker processes are spawned before start()).
+        service = SimulationService(
+            jobs=2, worker_mode="process",
+            journal=JobJournal(tmp_path / "journal"))
+        registered = {
+            instrument.base_name
+            for instrument in service.registry.instruments()
+            if instrument.base_name.startswith("serve.")
+        }
+        assert documented == registered
 
 
 class TestServiceUnit:
@@ -462,6 +651,23 @@ class TestServiceUnit:
         assert reborn.registry.get("serve.jobs_resumed").value == 1
         assert journal.load() == []
         reborn.drain(timeout=30)
+
+    def test_snapshot_omits_quantiles_until_first_completion(self):
+        runner = GatedRunner()
+        runner.release()
+        service = SimulationService(jobs=1, runner=runner)
+        service.start()
+        try:
+            snapshot = service.metrics_snapshot()
+            for suffix in ("_p50", "_p95", "_p99"):
+                assert "serve.service_latency_ns" + suffix not in snapshot
+            job, _ = service.submit(cell(1))
+            assert job.wait(timeout=30)
+            snapshot = service.metrics_snapshot()
+            for suffix in ("_p50", "_p95", "_p99"):
+                assert snapshot["serve.service_latency_ns" + suffix] > 0
+        finally:
+            service.drain(timeout=30)
 
     def test_runner_crash_becomes_failed_run(self):
         def exploding(cell):
@@ -597,6 +803,26 @@ class TestHttpApi:
         done = client.wait(accepted["id"], timeout=30)
         assert done["state"] == "done"
 
+    def test_prom_exposition_parses_and_unknown_format_is_400(
+            self, http_service):
+        from repro.obs import parse_prometheus_text
+
+        _, _, client = http_service
+        samples = parse_prometheus_text(client.metrics_prom())
+        assert samples["serve_jobs_submitted"] == 0
+        assert samples["serve_service_latency_ns_count"] == 0
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request_text("/v1/metrics?format=xml")
+        assert excinfo.value.status == 400
+
+    def test_trace_endpoint_404_when_tracing_disabled(
+            self, http_service):
+        _, _, client = http_service
+        with pytest.raises(ServeClientError) as excinfo:
+            client.trace()
+        assert excinfo.value.status == 404
+        assert "--service-trace" in str(excinfo.value)
+
     def test_submit_during_drain_is_503(self, http_service):
         service, runner, client = http_service
         runner.release()
@@ -605,6 +831,45 @@ class TestHttpApi:
             client.submit({"name": "hotspot", "scale": SCALE})
         assert excinfo.value.status == 503
         assert client.healthz()["status"] == "draining"
+
+
+@pytest.mark.serve
+class TestObservabilityHttp:
+    """Event log + tracer wired through a live HTTP daemon."""
+
+    def test_traced_lifecycle_over_http(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+        from repro.serve import ServeEventLog, ServiceTracer
+
+        events = ServeEventLog(tmp_path / "servelog")
+        service = SimulationService(
+            jobs=1, runner=lambda c: (SimStats(), False),
+            events=events, tracer=ServiceTracer(workers=1))
+        service.start()
+        server = ServiceServer(service, port=0)
+        server.start_background()
+        client = ServeClient(port=server.port, timeout=10.0)
+        try:
+            job = client.submit({"name": "hotspot", "scale": SCALE},
+                                seed=1)
+            assert client.wait(job["id"], timeout=30)["state"] == "done"
+            trace = client.trace()
+            validate_chrome_trace(trace)
+            names = {e.get("name") for e in trace["traceEvents"]}
+            assert {"queued", "attempt-1", "executing", "cache_miss",
+                    "terminal:done"} <= names
+            assert ServeEventLog.scan(tmp_path / "servelog") == []
+            kinds = [e["kind"]
+                     for e in ServeEventLog.read(tmp_path / "servelog")]
+            assert kinds[0] == "submitted"
+            assert {"leased", "executing", "cache_miss",
+                    "terminal"} <= set(kinds)
+            correlated = {e.get("job") for e in
+                          ServeEventLog.read(tmp_path / "servelog")}
+            assert correlated == {job["id"]}
+        finally:
+            server.shutdown(timeout=30)
+            server.close()
 
 
 @pytest.mark.serve
@@ -662,7 +927,8 @@ class TestEndToEndSimulation:
             assert metrics["serve.cache_misses"] == 1
             assert metrics["serve.jobs_done"] == 2
             assert metrics["serve.service_latency_ns_count"] == 2
-            assert metrics["serve.service_latency_ns_p95"] >= \
+            assert metrics["serve.service_latency_ns_p99"] >= \
+                metrics["serve.service_latency_ns_p95"] >= \
                 metrics["serve.service_latency_ns_p50"] > 0
         finally:
             server.shutdown(timeout=60)
