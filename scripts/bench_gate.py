@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Engine-throughput regression gate over the stored bench trajectory.
+
+Usage::
+
+    python scripts/bench_gate.py BENCH_core.json            # gate
+    python scripts/bench_gate.py BENCH_core.json --record v7 # store entry
+
+Compares a fresh ``repro bench`` report against the best entry stored
+under ``benchmarks/trajectory/`` and fails (exit 1) when any cell's
+**speedup** (fast-over-reference wall-clock ratio) regressed by more
+than ``--threshold`` (default 30% — engine speedup ratios on
+shared CI runners jitter by ~25% run-to-run, so the default floor is
+set to catch a fast path that stopped paying (~1x) rather than noise).
+
+The gate deliberately compares the speedup *ratio*, not raw
+accesses/second: CI runners differ wildly in absolute throughput, but
+both engines run on the same machine in the same job, so their ratio is
+the machine-independent signal — a fast-path change that stops paying
+its way shows up as a ratio drop wherever it runs.  Absolute numbers
+for both engines are still printed (and stored) so the trajectory
+tracks them per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench-core/v1"
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent.parent \
+    / "benchmarks" / "trajectory"
+
+
+def load_report(path: Path) -> dict:
+    report = json.loads(path.read_text())
+    if report.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA!r}, "
+                 f"got {report.get('schema')!r}")
+    return report
+
+
+def best_stored_speedups(trajectory: Path) -> dict[str, tuple[float, str]]:
+    """cell name -> (best stored speedup, entry filename)."""
+    best: dict[str, tuple[float, str]] = {}
+    if not trajectory.is_dir():
+        return best
+    for entry_path in sorted(trajectory.glob("*.json")):
+        entry = load_report(entry_path)
+        for cell in entry["cells"]:
+            name, speedup = cell["cell"], cell["speedup"]
+            if name not in best or speedup > best[name][0]:
+                best[name] = (speedup, entry_path.name)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path,
+                        help="BENCH_core.json from `repro bench`")
+    parser.add_argument("--trajectory", type=Path,
+                        default=DEFAULT_TRAJECTORY,
+                        help="stored trajectory directory")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional speedup regression")
+    parser.add_argument("--record", metavar="LABEL",
+                        help="store the report as <trajectory>/<LABEL>.json "
+                             "after gating")
+    args = parser.parse_args(argv)
+
+    report = load_report(args.report)
+    best = best_stored_speedups(args.trajectory)
+
+    failures = []
+    print(f"{'cell':22s} {'ref acc/s':>12s} {'fast acc/s':>12s} "
+          f"{'speedup':>8s} {'best':>8s}  verdict")
+    print("-" * 78)
+    for cell in report["cells"]:
+        name = cell["cell"]
+        ref = cell["engines"]["reference"]["accesses_per_sec"]
+        fast = cell["engines"]["fast"]["accesses_per_sec"]
+        speedup = cell["speedup"]
+        stored = best.get(name)
+        if stored is None:
+            verdict, baseline = "no baseline", "-"
+        else:
+            floor = stored[0] * (1.0 - args.threshold)
+            baseline = f"{stored[0]:.2f}x"
+            if speedup < floor:
+                verdict = f"REGRESSED (<{floor:.2f}x, vs {stored[1]})"
+                failures.append(name)
+            else:
+                verdict = "ok"
+        print(f"{name:22s} {ref:12.0f} {fast:12.0f} "
+              f"{speedup:7.2f}x {baseline:>8s}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: speedup regressed >{args.threshold:.0%} on: "
+              f"{', '.join(failures)}")
+        return 1
+    if args.record:
+        args.trajectory.mkdir(parents=True, exist_ok=True)
+        target = args.trajectory / f"{args.record}.json"
+        target.write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"\nrecorded {target}")
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from .config import SimulatorConfig, oversubscribed, pascal_gtx1080ti
-from .core.engine import Simulator
+from .core.engine import Simulator, make_simulator
 from .core.evict import EVICTION_REGISTRY, make_eviction_policy
 from .core.prefetch import PREFETCHER_REGISTRY, make_prefetcher
 from .errors import ReproError
@@ -45,6 +45,7 @@ __all__ = [
     "oversubscribed",
     "pascal_gtx1080ti",
     "Simulator",
+    "make_simulator",
     "EVICTION_REGISTRY",
     "make_eviction_policy",
     "PREFETCHER_REGISTRY",

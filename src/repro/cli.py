@@ -197,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--buffer", type=float, default=0.0,
                        help="free-page buffer fraction")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--engine", default="reference",
+                       choices=("reference", "fast"),
+                       help="simulation engine; 'fast' is the batched "
+                            "numpy engine (result-identical, see "
+                            "docs/PERFORMANCE.md)")
     run_p.add_argument("--preset", default=None,
                        choices=sorted(PRESETS),
                        help="named paper setting; overrides the policy "
@@ -412,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--buffer", type=float, default=0.0,
                           help="free-page buffer fraction")
     submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--engine", default="reference",
+                          choices=("reference", "fast"),
+                          help="simulation engine; 'fast' is the "
+                               "batched numpy engine (result-identical, "
+                               "see docs/PERFORMANCE.md)")
     submit_p.add_argument("--preset", default=None,
                           choices=sorted(PRESETS),
                           help="named paper setting; overrides the "
@@ -566,6 +576,23 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("preset_a", choices=sorted(PRESETS))
     cmp_p.add_argument("preset_b", choices=sorted(PRESETS))
     cmp_p.add_argument("--scale", type=float, default=0.5)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time both simulation engines (writes BENCH_core.json); "
+             "--compare runs the differential-equivalence matrix instead",
+    )
+    bench_p.add_argument("--compare", action="store_true",
+                         help="run the fastpath-equiv differential matrix "
+                              "and exit 1 on any byte-level mismatch")
+    bench_p.add_argument("--scale", type=float, default=1.0,
+                         help="workload footprint scale for --compare")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats per (cell, engine); "
+                              "best-of is reported")
+    bench_p.add_argument("--output", type=Path,
+                         default=Path("BENCH_core.json"),
+                         help="throughput report path")
     return parser
 
 
@@ -601,6 +628,7 @@ def _flags_config(args: argparse.Namespace, workload,
             config = config.replace(fault_profile=profile)
         return config
     common = dict(
+        engine=getattr(args, "engine", "reference"),
         prefetcher=args.prefetcher,
         eviction=args.eviction,
         disable_prefetch_on_oversubscription=not args.keep_prefetching,
@@ -1105,6 +1133,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    if args.compare:
+        results = bench.compare_engines(scale=args.scale)
+        print(bench.format_compare(results))
+        return 0 if all(r.identical for r in results) else 1
+    report = bench.throughput_report(repeats=args.repeats)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    print(bench.format_throughput(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -1144,6 +1187,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(c.passed for c in checks) else 1
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -31,6 +31,14 @@ class SimulatorConfig:
     interconnect, and policy behaviour under over-subscription.
     """
 
+    # --- Engine ------------------------------------------------------------
+    #: Simulation engine: ``"reference"`` is the per-access discrete-event
+    #: model; ``"fast"`` is the batched/vectorized engine
+    #: (:mod:`repro.core.fastpath`), byte-identical by contract and gated
+    #: by the ``fastpath-equiv`` validation claim.  The default stays
+    #: ``"reference"`` until the gate has a longer track record.
+    engine: str = "reference"
+
     # --- GPU execution -----------------------------------------------------
     num_sms: int = constants.DEFAULT_NUM_SMS
     #: Maximum thread blocks resident per SM at a time.
@@ -168,6 +176,10 @@ class SimulatorConfig:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any inconsistent setting."""
+        if self.engine not in ("reference", "fast"):
+            raise ConfigurationError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
         for name in self._POSITIVE_INT_FIELDS:
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:

@@ -3,7 +3,7 @@ engine, and the prefetch/eviction policy families."""
 
 from .context import UvmContext
 from .driver import UvmDriver
-from .engine import Simulator
+from .engine import Simulator, make_simulator
 from .events import EventQueue
 from .plans import EvictionPlan, EvictionUnit, MigrationPlan, TransferGroup
 
@@ -11,6 +11,7 @@ __all__ = [
     "UvmContext",
     "UvmDriver",
     "Simulator",
+    "make_simulator",
     "EventQueue",
     "EvictionPlan",
     "EvictionUnit",

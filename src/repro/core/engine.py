@@ -125,15 +125,35 @@ class Simulator:
         """``cudaMallocManaged``: reserve unified VA; no physical memory."""
         return self.allocator.malloc_managed(name, size_bytes)
 
+    def _resolve_page_range(self, alloc: ManagedAllocation, first_page: int,
+                            num_pages: int | None, op: str) -> list[int]:
+        """Global page indices for ``[first_page, first_page+num_pages)``.
+
+        Rejects ranges that fall outside the allocation: a negative
+        ``first_page`` or an oversized ``num_pages`` would silently build
+        global page indices belonging to a *different* allocation (or to
+        unreserved VA) and corrupt its residency.
+        """
+        if num_pages is None:
+            num_pages = alloc.num_pages - first_page
+        if first_page < 0 or num_pages < 0 \
+                or first_page + num_pages > alloc.num_pages:
+            raise SimulationError(
+                f"{op} range [first_page={first_page}, "
+                f"num_pages={num_pages}] outside allocation "
+                f"{alloc.name!r} with {alloc.num_pages} pages"
+            )
+        base = alloc.page_range[0] + first_page
+        return list(range(base, base + num_pages))
+
     def prefetch_async(self, name: str, first_page: int = 0,
                        num_pages: int | None = None) -> None:
         """``cudaMemPrefetchAsync`` over a page range of an allocation."""
         alloc = self.allocator.get(name)
-        if num_pages is None:
-            num_pages = alloc.num_pages - first_page
-        base = alloc.page_range[0] + first_page
-        self.driver.prefetch_range(list(range(base, base + num_pages)),
-                                   self.now)
+        pages = self._resolve_page_range(alloc, first_page, num_pages,
+                                         "prefetch_async")
+        self._flush_pending()
+        self.driver.prefetch_range(pages, self.now)
 
     def cpu_access(self, name: str, first_page: int = 0,
                    num_pages: int | None = None,
@@ -146,12 +166,10 @@ class Simulator:
         kernel launches through a managed pointer.
         """
         alloc = self.allocator.get(name)
-        if num_pages is None:
-            num_pages = alloc.num_pages - first_page
-        base = alloc.page_range[0] + first_page
-        self.driver.host_access_range(
-            list(range(base, base + num_pages)), self.now, is_write
-        )
+        pages = self._resolve_page_range(alloc, first_page, num_pages,
+                                         "cpu_access")
+        self._flush_pending()
+        self.driver.host_access_range(pages, self.now, is_write)
 
     def launch_kernel(self, kernel: KernelSpec) -> float:
         """Run one kernel to completion; returns its duration in ns."""
@@ -178,13 +196,20 @@ class Simulator:
                     f"{sorted(self.mshr.pages())[:8]})"
                 )
             self.now, callback = self.events.pop()
+            if not getattr(callback, "is_sm_step", False):
+                self._flush_pending()
             callback(self.now)
             if watchdog is not None:
                 tick_budget -= 1
                 if tick_budget <= 0:
                     tick_budget = interval
                     watchdog.note_events(interval)
+                    self._flush_pending()
                     watchdog.tick(self)
+        # Deferred batches stay pending across kernel launches (iterative
+        # workloads re-touch the same pages every kernel, so cross-kernel
+        # spans are where compression pays); ``synchronize``, the driver
+        # entry points, and ``check_invariants`` all flush first.
         self.now = max(self.now, self._kernel_end)
         duration = self._kernel_end - kernel_start
         self.stats.kernel_times_ns.append(duration)
@@ -203,7 +228,10 @@ class Simulator:
         """``cudaDeviceSynchronize``: drain every in-flight event."""
         while self.events:
             self.now, callback = self.events.pop()
+            if not getattr(callback, "is_sm_step", False):
+                self._flush_pending()
             callback(self.now)
+        self._flush_pending()
         self.frames.settle(self.now)
 
     # ------------------------------------------------------------ driver hooks
@@ -239,12 +267,53 @@ class Simulator:
         if sm.scheduled:
             return
         sm.scheduled = True
-        self.events.push(time_ns, lambda now, sm=sm: self._sm_step(sm, now))
+        callback = lambda now, sm=sm: self._sm_step(sm, now)  # noqa: E731
+        # Marks the one event kind that may leave deferred batches behind
+        # (see Simulator._flush_pending); every other callback flushes.
+        callback.is_sm_step = True
+        self.events.push(time_ns, callback)
 
     def _sm_step(self, sm: StreamingMultiprocessor, now_ns: float) -> None:
         """Issue up to SM_QUANTUM accesses from this SM's ready warps."""
         sm.scheduled = False
         sm.time_ns = max(sm.time_ns, now_ns)
+        self._issue_quantum(sm, self.SM_QUANTUM)
+        finished = sm.reap_finished_blocks()
+        if finished:
+            # No flush needed: on_blocks_finished only refills scheduler
+            # queues and places blocks; it observes no recency state.
+            self._kernel_end = max(self._kernel_end, sm.time_ns)
+            self.scheduler.on_blocks_finished(sm, finished)
+            if self.scheduler.kernel_done:
+                self._kernel_done = True
+        if sm.next_ready_warp() is not None:
+            self._schedule_sm(sm, sm.time_ns)
+
+    def _flush_pending(self) -> None:
+        """Apply any deferred batched state updates (no-op here).
+
+        The fast engine (:mod:`repro.core.fastpath`) accumulates
+        compressible recency updates — PTE access marks, eviction
+        touches, TLB hit refreshes — across consecutive all-hit SM
+        quanta and overrides this hook to apply them.  The reference
+        engine applies everything eagerly, so this is a no-op; it is
+        called at every point deferred state could become observable:
+        before any non-SM-step event callback, on ``synchronize``,
+        before driver entry points (``prefetch_async``, ``cpu_access``),
+        and before invariant checks.
+        """
+
+    def _issue_quantum(self, sm: StreamingMultiprocessor,
+                       budget: int) -> None:
+        """The per-access issue loop of one SM step event.
+
+        Retires up to ``budget`` accesses from the SM's READY warps in
+        round-robin order.  Split out of :meth:`_sm_step` so alternative
+        engines (:mod:`repro.core.fastpath`) can override the issue loop
+        while sharing the launch/reap/reschedule machinery — the contract
+        is that any override must leave *identical* simulator state to
+        this reference loop.
+        """
         config = self.config
         stats = self.stats
         trace = config.record_access_trace
@@ -256,7 +325,7 @@ class Simulator:
         page_table = self.page_table
         eviction = self.driver.eviction
 
-        for _ in range(self.SM_QUANTUM):
+        for _ in range(budget):
             warp = sm.next_ready_warp()
             if warp is None:
                 break
@@ -291,15 +360,6 @@ class Simulator:
                         )
             warp.advance()
 
-        finished = sm.reap_finished_blocks()
-        if finished:
-            self._kernel_end = max(self._kernel_end, sm.time_ns)
-            self.scheduler.on_blocks_finished(sm, finished)
-            if self.scheduler.kernel_done:
-                self._kernel_done = True
-        if sm.next_ready_warp() is not None:
-            self._schedule_sm(sm, sm.time_ns)
-
     # ---------------------------------------------------------------- inspection
     def residency_map(self, allocation_name: str) -> list:
         """Per-page :class:`~repro.memory.page.PageState` of an allocation.
@@ -317,6 +377,7 @@ class Simulator:
         """Cross-component consistency (used by tests after runs)."""
         from ..memory.page import PageState
 
+        self._flush_pending()
         valid = self.page_table.valid_count
         if not self.frames.unbounded:
             self.frames.check_conservation()
@@ -331,3 +392,17 @@ class Simulator:
             )
         for tree in self.ctx.all_trees():
             tree.check_consistency()
+
+
+def make_simulator(config: SimulatorConfig) -> Simulator:
+    """Build the engine selected by ``config.engine``.
+
+    ``"reference"`` is the event-for-event model above; ``"fast"`` is the
+    batched :class:`~repro.core.fastpath.FastSimulator`, which must be
+    byte-identical in results (gated by the ``fastpath-equiv`` validate
+    claim and ``repro bench --compare``).
+    """
+    if config.engine == "fast":
+        from .fastpath import FastSimulator
+        return FastSimulator(config)
+    return Simulator(config)

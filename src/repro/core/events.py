@@ -12,23 +12,43 @@ from typing import Callable
 
 from ..errors import SimulationError
 
+#: Every queued callback is invoked as ``callback(now_ns)`` — the engine
+#: passes the event's timestamp when it fires (see ``Simulator
+#: .launch_kernel`` / ``synchronize``).
+EventCallback = Callable[[float], None]
+
+
+def _callback_name(callback: object) -> str:
+    """Best-effort qualified name of a callback for error messages.
+
+    ``functools.partial`` and other wrappers hide the underlying function;
+    unwrap one level of ``.func`` before falling back to ``repr``.
+    """
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        inner = getattr(callback, "func", None)
+        name = getattr(inner, "__qualname__", None)
+    return name if name is not None else repr(callback)
+
 
 class EventQueue:
     """Min-heap of timed callbacks."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, EventCallback]] = []
         self._seq = 0
 
-    def push(self, time_ns: float, callback: Callable[[], None]) -> None:
+    def push(self, time_ns: float, callback: EventCallback) -> None:
         """Schedule ``callback`` to run at ``time_ns``."""
         if time_ns < 0:
-            raise SimulationError(f"event scheduled at negative time "
-                                  f"{time_ns}")
+            raise SimulationError(
+                f"event scheduled at negative time {time_ns} "
+                f"(callback {_callback_name(callback)})"
+            )
         heapq.heappush(self._heap, (time_ns, self._seq, callback))
         self._seq += 1
 
-    def pop(self) -> tuple[float, Callable[[], None]]:
+    def pop(self) -> tuple[float, EventCallback]:
         """Remove and return the earliest (time, callback)."""
         if not self._heap:
             raise SimulationError("popping from an empty event queue")

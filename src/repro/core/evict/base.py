@@ -38,6 +38,19 @@ class EvictionPolicy(ABC):
     def on_accessed(self, page: int, ctx: UvmContext) -> None:
         """A valid page was read or written."""
 
+    def on_accessed_many(self, pages, ctx: UvmContext) -> None:
+        """Batch form of :meth:`on_accessed` for the fast engine.
+
+        ``pages`` is an access window compressed to one entry per
+        distinct page, ordered by each page's *last* access.  For pure
+        recency bookkeeping (every built-in policy) this is equivalent to
+        replaying the full access sequence; a policy that counts repeated
+        accesses would need to override this with its own expansion.  The
+        ``fastpath-equiv`` differential harness gates that equivalence.
+        """
+        for page in pages:
+            self.on_accessed(page, ctx)
+
     @abstractmethod
     def on_invalidated_externally(self, page: int,
                                   ctx: UvmContext) -> None:

@@ -43,6 +43,14 @@ class Lru4kEviction(EvictionPolicy):
         self._unaccessed.pop(page, None)
         self._lru.insert(page)
 
+    def on_accessed_many(self, pages, ctx: UvmContext) -> None:
+        # Inlined loop over the compressed window (hot path).
+        unaccessed_pop = self._unaccessed.pop
+        insert = self._lru.insert
+        for page in pages:
+            unaccessed_pop(page, None)
+            insert(page)
+
     def on_invalidated_externally(self, page: int,
                                   ctx: UvmContext) -> None:
         self._unaccessed.pop(page, None)

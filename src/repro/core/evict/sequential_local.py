@@ -43,6 +43,11 @@ class SequentialLocalPreEviction(EvictionPolicy):
     def on_accessed(self, page: int, ctx: UvmContext) -> None:
         self._structure(ctx).touch(page)
 
+    def on_accessed_many(self, pages, ctx: UvmContext) -> None:
+        touch = self._structure(ctx).touch
+        for page in pages:
+            touch(page)
+
     def on_invalidated_externally(self, page: int,
                                   ctx: UvmContext) -> None:
         lru = self._structure(ctx)

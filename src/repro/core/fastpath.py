@@ -1,0 +1,653 @@
+"""Batched fast-path engine for the ``_sm_step`` hot path.
+
+:class:`FastSimulator` is a drop-in replacement for
+:class:`~repro.core.engine.Simulator` selected with
+``SimulatorConfig(engine="fast")``.  It keeps every component of the
+reference engine — driver, GMMU, MSHRs, PCI-e link, event queue, policies
+— and overrides only the per-SM issue loop, which profiling shows is where
+a reference run spends most of its time (per-access warp-list rebuilds,
+TLB ``OrderedDict`` traffic, one python call per touched structure).
+
+Design
+======
+
+One SM step event retires up to ``SM_QUANTUM`` accesses.  The fast path
+handles that quantum in stages:
+
+1. **Schedule generation** (pure): replicate the round-robin warp
+   selection of ``StreamingMultiprocessor.next_ready_warp`` *without
+   mutating anything*.  In the common case — every ready warp holds at
+   least its share of the quantum — the schedule is a perfect rotation,
+   so the page/write vectors assemble from cached per-warp numpy arrays
+   with one strided slice per warp (``out[j::R] = stream[c:c+take]``).
+   Otherwise (a warp exhausts mid-window) a scalar scan simulates the
+   rotation slot by slot.  Far faults cannot be predicted here and are
+   handled below.
+
+2. **Vectorized hit classification**: each SM's TLB is a
+   :class:`MaskedTlb` that mirrors its membership into a numpy bit
+   array (:class:`PageBitmap`).  One gather over the scheduled page
+   vector classifies the quantum.
+
+3. **Deferred all-hit windows**: when every access hits (the
+   steady-state common case) the window commits only its *eager* state
+   — hit counters, the SM clock (``np.cumsum`` issue times: sequential
+   left-to-right float accumulation, bit-identical to the reference
+   loop's repeated ``+=``), warp cursors, the round-robin index — and
+   *defers* the recency bookkeeping by appending the page/time/write
+   vectors to pending buffers:
+
+   * PTE access marks and eviction-policy touches accumulate globally
+     (in execution order across SMs);
+   * TLB hit refreshes accumulate per SM.
+
+   The pending span is compressed at flush time to one operation per
+   distinct page in last-access order (``np.unique`` over the reversed
+   concatenation).  For pure recency bookkeeping — every built-in
+   eviction policy, the TLB's LRU order, and the PTE
+   accessed/dirty/last-access fields — this is provably equivalent to
+   replaying every access, because only the final per-page state is
+   observable and it depends only on each page's last touch (dirty ORs
+   across the span).
+
+   Deferral is sound because the pending state is invisible until
+   *observed*, and every observation point flushes first:
+   :meth:`~repro.core.engine.Simulator._flush_pending` runs before any
+   non-SM-step event callback (all driver/link/migration events), on
+   ``synchronize``, before ``prefetch_async`` / ``cpu_access`` driver
+   entries, before invariant checks, and before any reference-path
+   issue (misses mutate the TLB and walk the page table).  Between two
+   flushes no TLB membership, page validity, or policy structure can
+   change, which is exactly what makes the compression exact.  Spans
+   deliberately survive kernel-launch boundaries — iterative workloads
+   re-touch the same pages every kernel, and the cross-kernel span is
+   where last-touch compression actually pays.
+
+4. **Scalar replay with batch flush**: windows that contain TLB misses
+   first flush all pending batches, then fall back to an inlined
+   per-access loop that performs *exactly* the reference sequence of
+   structure mutations (TLB insert/evict, page walks, walker state)
+   while still batching the window-local recency updates.  Pending TLB
+   refreshes flush before every TLB insert so replacement decisions see
+   the same LRU order as the reference.  At the first far fault the
+   loop stops *before* consuming the faulting access and hands the
+   remaining budget to the reference loop (``super()._issue_quantum``),
+   so fault registration, MSHR merging, driver batching and warp
+   blocking stay event-for-event identical.  A far fault (or a mostly
+   blocked SM) also starts a short cooldown during which the SM issues
+   through the reference loop directly: fault-bound phases are not
+   batching targets, and the cooldown avoids paying schedule generation
+   for windows that will fall back anyway.  Plain capacity-miss windows
+   skip the cooldown — the batched replay already handles them at
+   reference speed and the next window is usually all-hit again.
+
+Equivalence is enforced, not assumed: the ``fastpath-equiv`` validation
+claim and ``repro bench --compare`` assert byte-identical
+``SimStats.to_json()`` between both engines across a seed × workload ×
+pairing × oversubscription matrix (see :mod:`repro.bench`).
+
+Modes the fast path declines (``record_access_trace`` samples every
+access in issue order; ``l2_enabled`` threads order-dependent cache state
+through the hit path) run the reference loop unchanged, so selecting
+``engine="fast"`` is *always* result-identical, never conditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulatorConfig
+from ..gpu.sm import StreamingMultiprocessor
+from ..gpu.warp import WarpState
+from ..memory.tlb import Tlb
+from .engine import Simulator
+
+#: Bitmap pages are tracked relative to a base rounded down to this many
+#: pages, so neighbouring allocations land in one array.
+_MASK_ALIGN = 1 << 16
+
+
+class PageBitmap:
+    """Residency bits over a window of global page indices.
+
+    Global page indices start near ``base_addr // page_size`` (~2^20 for
+    the default 4 GiB VA base), so the bitmap keeps its own base offset
+    and grows geometrically in either direction on demand.  ``gather``
+    treats pages outside the window as unset.
+    """
+
+    __slots__ = ("_base", "_bits")
+
+    def __init__(self) -> None:
+        self._base = 0
+        self._bits = np.zeros(0, dtype=bool)
+
+    def _ensure(self, page: int) -> None:
+        size = self._bits.shape[0]
+        if size == 0:
+            self._base = (page // _MASK_ALIGN) * _MASK_ALIGN
+            self._bits = np.zeros(_MASK_ALIGN, dtype=bool)
+            return
+        index = page - self._base
+        if 0 <= index < size:
+            return
+        new_base = self._base
+        grow_low = 0
+        if index < 0:
+            grow_low = max(size, -index)
+            grow_low = ((grow_low + _MASK_ALIGN - 1) // _MASK_ALIGN) \
+                * _MASK_ALIGN
+            new_base = self._base - grow_low
+        grow_high = 0
+        if index >= size:
+            grow_high = max(size, index - size + 1)
+            grow_high = ((grow_high + _MASK_ALIGN - 1) // _MASK_ALIGN) \
+                * _MASK_ALIGN
+        new_bits = np.zeros(grow_low + size + grow_high, dtype=bool)
+        new_bits[grow_low:grow_low + size] = self._bits
+        self._base = new_base
+        self._bits = new_bits
+
+    def set(self, page: int) -> None:
+        self._ensure(page)
+        self._bits[page - self._base] = True
+
+    def clear(self, page: int) -> None:
+        index = page - self._base
+        if 0 <= index < self._bits.shape[0]:
+            self._bits[index] = False
+
+    def clear_all(self) -> None:
+        self._bits[:] = False
+
+    def gather(self, pages: np.ndarray) -> np.ndarray:
+        """Bit per page of ``pages`` (int64 array); out-of-window = False."""
+        index = pages - self._base
+        size = self._bits.shape[0]
+        if size == 0:
+            return np.zeros(pages.shape[0], dtype=bool)
+        inside = (index >= 0) & (index < size)
+        if inside.all():
+            return self._bits[index]
+        out = np.zeros(pages.shape[0], dtype=bool)
+        out[inside] = self._bits[index[inside]]
+        return out
+
+
+class MaskedTlb(Tlb):
+    """A :class:`~repro.memory.tlb.Tlb` that mirrors membership into a
+    :class:`PageBitmap` so a whole quantum's hits classify in one gather,
+    and that queues deferred hit refreshes in ``pend``.
+
+    Only membership-changing operations touch the bitmap; ``lookup`` and
+    ``refresh_many`` (pure LRU reordering) stay as cheap as the base
+    class.  Replacement order and hit/miss accounting are inherited
+    untouched, so behaviour is identical by construction.  ``pend``
+    holds page vectors of deferred all-hit windows; membership is
+    frozen while anything is pending (inserts and invalidations only
+    happen after a flush), so applying the refreshes late — compressed
+    to last-access order — reorders the LRU exactly as eager refreshes
+    would have.
+    """
+
+    def __init__(self, entries: int) -> None:
+        super().__init__(entries)
+        self.mask = PageBitmap()
+        #: Deferred hit-refresh page vectors (np.int64), execution order.
+        self.pend: list[np.ndarray] = []
+
+    def insert(self, page: int) -> None:
+        entries = self._entries
+        if page in entries:
+            entries.move_to_end(page)
+            return
+        if len(entries) >= self.capacity:
+            victim, _ = entries.popitem(last=False)
+            self.mask.clear(victim)
+        entries[page] = None
+        self.mask.set(page)
+
+    def invalidate(self, page: int) -> bool:
+        hit = super().invalidate(page)
+        if hit:
+            self.mask.clear(page)
+        return hit
+
+    def flush(self) -> None:
+        super().flush()
+        self.mask.clear_all()
+        # Dropping the whole TLB makes pending recency reorders moot.
+        self.pend.clear()
+
+
+class FastSimulator(Simulator):
+    """Batched engine; results byte-identical to :class:`Simulator`."""
+
+    #: Below this ready-warp share the quantum is fault-bound and the
+    #: schedule scan degenerates; the reference loop handles it directly.
+    _MIN_READY_FRACTION = 0.25
+    #: Quanta issued through the reference loop after a far fault or a
+    #: mostly-blocked window; fault-bound phases would otherwise pay
+    #: schedule generation and a gather per window only to fall back
+    #: anyway.  Plain capacity-miss windows do *not* start a cooldown:
+    #: the batched replay handles them at reference speed and the next
+    #: window is usually all-hit again.
+    _MISS_COOLDOWN = 8
+    #: Minimum per-warp share for the strided-slice schedule; below it
+    #: (many warps, tiny slices) the scalar scan is cheaper.
+    _MIN_UNIFORM_SHARE = 2
+
+    def __init__(self, config: SimulatorConfig) -> None:
+        super().__init__(config)
+        #: Per-access instrumentation or L2 state threads order through
+        #: the hit path; those modes run the reference loop verbatim.
+        self._fast_issue = not config.record_access_trace \
+            and not config.l2_enabled
+        self._access_ns = config.cycles_per_access * self._ns_per_cycle
+        #: Deferred all-hit windows, execution order across all SMs:
+        #: page vectors, issue-time vectors, write masks (None = no
+        #: writes in that window).
+        self._pend_pages: list[np.ndarray] = []
+        self._pend_times: list[np.ndarray] = []
+        self._pend_writes: list[np.ndarray | None] = []
+        #: (budget, n_ready) -> (lane % n_ready, lane // n_ready) index
+        #: patterns for the rotation gather of :meth:`_uniform_window`.
+        self._rot_patterns: dict[tuple[int, int], tuple] = {}
+        if self._fast_issue:
+            for sm in self.sms:
+                sm.tlb = MaskedTlb(config.tlb_entries)
+                sm.fast_cooldown = 0
+                sm.fast_cache = None
+
+    # ---------------------------------------------------------------- flush
+    def _flush_pending(self) -> None:
+        """Apply deferred recency state (see the module docstring).
+
+        Compresses the accumulated span to one touch per distinct page
+        in last-access order before walking the python structures, so a
+        long all-hit phase costs one numpy dedup plus O(working set)
+        python work instead of O(accesses).
+        """
+        if not self._fast_issue:
+            return
+        pend = self._pend_pages
+        if pend:
+            if len(pend) == 1:
+                pages = pend[0]
+                times = self._pend_times[0]
+            else:
+                pages = np.concatenate(pend)
+                times = np.concatenate(self._pend_times)
+            writes_list = self._pend_writes
+            writes: np.ndarray | None = None
+            if any(w is not None for w in writes_list):
+                if len(writes_list) == 1:
+                    writes = writes_list[0]
+                else:
+                    writes = np.concatenate([
+                        w if w is not None
+                        else np.zeros(p.shape[0], dtype=bool)
+                        for p, w in zip(pend, writes_list)
+                    ])
+            pend.clear()
+            self._pend_times.clear()
+            self._pend_writes.clear()
+            total = pages.shape[0]
+            last_rev = np.unique(pages[::-1], return_index=True)[1]
+            sel = np.sort(total - 1 - last_rev)
+            touch_pages = self.page_table.mark_access_span(
+                pages, sel, times, writes
+            )
+            self.driver.eviction.on_accessed_many(touch_pages, self.ctx)
+        for sm in self.sms:
+            tlb_pend = sm.tlb.pend
+            if tlb_pend:
+                if len(tlb_pend) == 1:
+                    arr = tlb_pend[0]
+                else:
+                    arr = np.concatenate(tlb_pend)
+                tlb_pend.clear()
+                total = arr.shape[0]
+                sel = np.sort(
+                    total - 1 - np.unique(arr[::-1], return_index=True)[1]
+                )
+                sm.tlb.refresh_many(arr[sel].tolist())
+
+    # ------------------------------------------------------------ issue loop
+    def _issue_quantum(self, sm: StreamingMultiprocessor,
+                       budget: int) -> None:
+        if not self._fast_issue:
+            super()._issue_quantum(sm, budget)
+            return
+        cooldown = sm.fast_cooldown
+        if cooldown:
+            sm.fast_cooldown = cooldown - 1
+            self._flush_pending()
+            super()._issue_quantum(sm, budget)
+            return
+        issued, clean = self._fast_pass(sm, budget)
+        if not clean:
+            sm.fast_cooldown = self._MISS_COOLDOWN
+            self._flush_pending()
+            super()._issue_quantum(sm, budget - issued)
+
+    def _fast_pass(self, sm: StreamingMultiprocessor,
+                   budget: int) -> tuple[int, bool]:
+        """Issue as much of the quantum as can be batched.
+
+        Returns ``(issued, clean)``: ``clean`` is True when nothing is
+        left for the reference loop (every issuable access was retired),
+        False when the pass stopped early — at a far fault, or because
+        the quantum is not worth batching — with ``issued`` accesses
+        already applied and all pending batches flushed.
+        """
+        warps = sm.all_warps()
+        n = len(warps)
+        if n == 0:
+            return 0, True
+        # Ready warps in the cyclic order the round-robin scan first
+        # reaches them from the current rotation index.
+        rr = sm._rr_index
+        rot: list[int] = []
+        for k in range(n):
+            pos = rr + k
+            if pos >= n:
+                pos -= n
+            if warps[pos].state is WarpState.READY:
+                rot.append(pos)
+        ready_count = len(rot)
+        if ready_count == 0:
+            return 0, True
+        if ready_count < n * self._MIN_READY_FRACTION:
+            # Mostly-blocked SM: fault-bound, not a batching target.
+            return 0, False
+
+        # --- stage 1a: perfect-rotation schedule via one index gather.
+        base, extra = divmod(budget, ready_count)
+        if base >= self._MIN_UNIFORM_SHARE:
+            result = self._uniform_window(sm, warps, rot, budget,
+                                          base, extra)
+            if result is not None:
+                return result
+
+        # --- stage 1b: simulate the round-robin schedule slot by slot.
+        cursors = [w.cursor for w in warps]
+        lengths = [len(w.accesses) for w in warps]
+        ready = [w.state is WarpState.READY for w in warps]
+        slot_pos: list[int] = []
+        slot_pages: list[int] = []
+        slot_writes: list[bool] = []
+        index = rr
+        for _ in range(budget):
+            if not ready_count:
+                break
+            j = index
+            while not ready[j]:
+                j += 1
+                if j == n:
+                    j = 0
+            cursor = cursors[j]
+            page, is_write = warps[j].accesses[cursor]
+            slot_pos.append(j)
+            slot_pages.append(page)
+            slot_writes.append(is_write)
+            cursor += 1
+            cursors[j] = cursor
+            if cursor == lengths[j]:
+                ready[j] = False
+                ready_count -= 1
+            index = j + 1
+            if index == n:
+                index = 0
+        total = len(slot_pos)
+        if total == 0:
+            return 0, True
+
+        # --- stage 2: classify the window against the TLB bitmap.
+        pages_arr = np.fromiter(slot_pages, np.int64, total)
+        hits = sm.tlb.mask.gather(pages_arr)
+        if hits.all():
+            self._defer_hit_window(sm, warps, slot_pos, pages_arr,
+                                   slot_writes)
+            return total, True
+
+        # --- stage 3: scalar replay with batch flush, bail at far fault.
+        self._flush_pending()
+        return self._replay(sm, warps, lengths, slot_pos, slot_pages,
+                            slot_writes)
+
+    # --------------------------------------------------- perfect rotation
+    def _stream_cache(self, sm: StreamingMultiprocessor,
+                      warps: list) -> tuple:
+        """Concatenated page/write stream arrays of the SM's warp pool.
+
+        Cached on the SM and invalidated whenever the resident warp set
+        changes; any change either alters ``len(warps)`` or replaces the
+        list's last element with a freshly constructed :class:`Warp`
+        (blocks are only ever appended, and reaping shrinks the list),
+        so ``(len, first, last)`` identity is a sound cache key.
+        """
+        n = len(warps)
+        cache = sm.fast_cache
+        if cache is not None and cache[0] == n and cache[1] is warps[0] \
+                and cache[2] is warps[-1]:
+            return cache
+        pages_list = []
+        writes_list = []
+        starts = np.empty(n + 1, dtype=np.int64)
+        offset = 0
+        for i, warp in enumerate(warps):
+            np_pages = warp.np_pages
+            if np_pages is None:
+                if warp.accesses:
+                    stream = np.array(warp.accesses, dtype=np.int64)
+                    np_pages = warp.np_pages = np.ascontiguousarray(
+                        stream[:, 0]
+                    )
+                    warp.np_writes = stream[:, 1].astype(bool)
+                else:
+                    np_pages = warp.np_pages = np.zeros(0, dtype=np.int64)
+                    warp.np_writes = np.zeros(0, dtype=bool)
+            starts[i] = offset
+            offset += np_pages.shape[0]
+            pages_list.append(np_pages)
+            writes_list.append(warp.np_writes)
+        starts[n] = offset
+        cache = (n, warps[0], warps[-1],
+                 np.concatenate(pages_list), np.concatenate(writes_list),
+                 starts)
+        sm.fast_cache = cache
+        return cache
+
+    def _uniform_window(self, sm: StreamingMultiprocessor, warps: list,
+                        rot: list[int], budget: int, base: int,
+                        extra: int) -> tuple[int, bool] | None:
+        """Assemble and retire a window whose schedule is a pure rotation.
+
+        When every ready warp holds at least its share (``base``
+        accesses, +1 for the first ``extra`` warps in rotation order),
+        warp ``rot[j]`` owns exactly slots ``j::R`` of the window and
+        the whole window assembles with one fancy-index gather from the
+        SM's concatenated stream arrays (slot ``i`` reads element
+        ``cursor[i % R] + i // R`` of warp ``rot[i % R]``'s segment).
+        Returns None when some warp runs out mid-window (the scalar
+        schedule scan handles that case).
+        """
+        n_ready = len(rot)
+        cache = self._stream_cache(sm, warps)
+        cat_pages, cat_writes, starts = cache[3], cache[4], cache[5]
+        rot_arr = np.fromiter(rot, np.int64, n_ready)
+        cursors = np.fromiter((warps[p].cursor for p in rot), np.int64,
+                              n_ready)
+        segment = starts[rot_arr]
+        remaining = starts[rot_arr + 1] - segment - cursors
+        if extra:
+            if (remaining[:extra] <= base).any() \
+                    or (remaining[extra:] < base).any():
+                return None
+        elif (remaining < base).any():
+            return None
+        pat = self._rot_patterns.get((budget, n_ready))
+        if pat is None:
+            lane = np.arange(budget, dtype=np.int64)
+            pat = (lane % n_ready, lane // n_ready)
+            self._rot_patterns[(budget, n_ready)] = pat
+        mod_pat, div_pat = pat
+        idx = (segment + cursors)[mod_pat] + div_pat
+        pages = cat_pages[idx]
+        writes = cat_writes[idx]
+
+        hits = sm.tlb.mask.gather(pages)
+        if not hits.all():
+            self._flush_pending()
+            slot_pos = [rot[i % n_ready] for i in range(budget)]
+            lengths = [len(w.accesses) for w in warps]
+            return self._replay(sm, warps, lengths, slot_pos,
+                                pages.tolist(), writes.tolist())
+
+        # All hits: commit eager state, defer the recency bookkeeping.
+        times = np.empty(budget + 1)
+        times[0] = sm.time_ns
+        times[1:] = self._access_ns
+        np.cumsum(times, out=times)
+        sm.time_ns = float(times[-1])
+        self.stats.tlb_hits += budget
+        tlb = sm.tlb
+        tlb.hits += budget
+        self._pend_pages.append(pages)
+        self._pend_times.append(times[1:])
+        self._pend_writes.append(writes if writes.any() else None)
+        tlb.pend.append(pages)
+
+        for j, pos in enumerate(rot):
+            warp = warps[pos]
+            take = base + 1 if j < extra else base
+            cursor = warp.cursor + take
+            warp.cursor = cursor
+            if cursor >= len(warp.accesses):
+                warp.state = WarpState.DONE
+        last_pos = rot[(budget - 1) % n_ready]
+        sm._rr_index = last_pos + 1 if last_pos + 1 < len(warps) else 0
+        return budget, True
+
+    # ------------------------------------------------- deferred hit window
+    def _defer_hit_window(self, sm: StreamingMultiprocessor, warps: list,
+                          slot_pos: list[int], pages_arr: np.ndarray,
+                          slot_writes: list[bool]) -> None:
+        """Commit an all-hit window from the scalar schedule, deferred.
+
+        Eager state — hit counters, the SM clock, warp cursors/states,
+        the round-robin index — is exactly what the reference loop
+        would leave; the recency bookkeeping joins the pending buffers.
+        """
+        total = pages_arr.shape[0]
+        times = np.empty(total + 1)
+        times[0] = sm.time_ns
+        times[1:] = self._access_ns
+        np.cumsum(times, out=times)
+        sm.time_ns = float(times[-1])
+        self.stats.tlb_hits += total
+        tlb = sm.tlb
+        tlb.hits += total
+        self._pend_pages.append(pages_arr)
+        self._pend_times.append(times[1:])
+        if any(slot_writes):
+            self._pend_writes.append(
+                np.fromiter(slot_writes, dtype=bool, count=total)
+            )
+        else:
+            self._pend_writes.append(None)
+        tlb.pend.append(pages_arr)
+
+        # Warp cursors, DONE transitions, round-robin index.
+        counts = np.bincount(np.fromiter(slot_pos, np.int64, total),
+                             minlength=len(warps)).tolist()
+        for pos, count in enumerate(counts):
+            if count:
+                warp = warps[pos]
+                warp.cursor += count
+                if warp.cursor >= len(warp.accesses):
+                    warp.state = WarpState.DONE
+        sm._rr_index = (slot_pos[-1] + 1) % len(warps)
+
+    # ------------------------------------------------------- scalar replay
+    def _replay(self, sm: StreamingMultiprocessor, warps: list,
+                lengths: list[int], slot_pos: list[int],
+                slot_pages: list[int],
+                slot_writes: list[bool]) -> tuple[int, bool]:
+        """Replay a mixed hit/miss window access by access.
+
+        Runs with all pending batches flushed.  Follows the reference
+        loop's structure mutations exactly — including walker state and
+        TLB replacement on fills — while batching the window-local
+        recency updates.  Stops *before* the first far-faulting access
+        (no side effects for it) so the reference loop can register the
+        fault identically.
+        """
+        stats = self.stats
+        tlb = sm.tlb
+        tlb_entries = tlb._entries
+        access_ns = self._access_ns
+        ns_per_cycle = self._ns_per_cycle
+        walk_cycles = self.walker.walk_cycles
+        is_valid = self.page_table.is_valid
+        time_ns = sm.time_ns
+        n = len(warps)
+
+        #: page -> last issue time; insertion order == last-access order.
+        mark_times: dict[int, float] = {}
+        written: set[int] = set()
+        #: Hit refreshes pending since the last TLB fill (membership is
+        #: constant between fills, so per-segment compression is exact).
+        tlb_pend: dict[int, None] = {}
+        hit_count = 0
+        issued = 0
+        faulted = False
+
+        for i, page in enumerate(slot_pages):
+            if page in tlb_entries:
+                hit_count += 1
+                time_ns += access_ns
+                if page in tlb_pend:
+                    del tlb_pend[page]
+                tlb_pend[page] = None
+            else:
+                if not is_valid(page):
+                    faulted = True
+                    break
+                stats.tlb_misses += 1
+                tlb.misses += 1
+                stats.page_table_walks += 1
+                time_ns += access_ns + walk_cycles(page) * ns_per_cycle
+                if tlb_pend:
+                    tlb.refresh_many(tlb_pend)
+                    tlb_pend.clear()
+                tlb.insert(page)
+            if page in mark_times:
+                del mark_times[page]
+            mark_times[page] = time_ns
+            if slot_writes[i]:
+                written.add(page)
+            pos = slot_pos[i]
+            warp = warps[pos]
+            cursor = warp.cursor + 1
+            warp.cursor = cursor
+            if cursor == lengths[pos]:
+                warp.state = WarpState.DONE
+            sm._rr_index = pos + 1 if pos + 1 < n else 0
+            issued += 1
+
+        sm.time_ns = time_ns
+        if hit_count:
+            stats.tlb_hits += hit_count
+            tlb.hits += hit_count
+            if tlb_pend:
+                tlb.refresh_many(tlb_pend)
+        if mark_times:
+            pages = list(mark_times)
+            self.page_table.mark_access_many(pages, mark_times.values(),
+                                             written)
+            self.driver.eviction.on_accessed_many(pages, self.ctx)
+        # A fault hands the rest of the quantum to the reference loop; a
+        # fully replayed window left no issuable access behind.
+        return issued, not faulted

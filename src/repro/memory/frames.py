@@ -18,6 +18,8 @@ from ..errors import DeviceMemoryError
 class FramePool:
     """Counts free/used 4 KB frames; identities are not modelled."""
 
+    __slots__ = ("capacity", "_free", "_used", "_pending")
+
     def __init__(self, capacity_pages: int | None) -> None:
         if capacity_pages is not None and capacity_pages <= 0:
             raise DeviceMemoryError("capacity must be positive or None")

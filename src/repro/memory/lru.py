@@ -178,18 +178,37 @@ class HierarchicalLRU:
 
     # --- candidate selection -------------------------------------------------
     def victim_block(self, skip_pages: int = 0) -> int:
-        """LRU basic block after skipping ``skip_pages`` protected pages."""
+        """LRU basic block after skipping ``skip_pages`` protected pages.
+
+        Whole-block protection: because eviction removes *entire* basic
+        blocks (``remove_block``), a block that contains any of the
+        ``skip_pages`` least-recently-used pages is protected as a whole
+        and the candidate is the first block past the reservation
+        boundary.  (Returning the boundary block itself — the previous
+        behaviour — let ``remove_block`` evict pages the Section 7.4
+        reservation had promised to keep.)  When the reservation cuts
+        into the last block so that no block is fully unprotected, the
+        boundary block is returned anyway: partial protection of the
+        MRU-most block is the only alternative to deadlocking the
+        eviction path.
+        """
         if skip_pages < 0:
             raise PolicyError("skip_pages must be non-negative")
+        if skip_pages >= self._page_count:
+            raise PolicyError(
+                f"cannot skip {skip_pages} of {self._page_count} LRU pages"
+            )
         remaining = skip_pages
+        boundary: int | None = None
         for chunk in self._chunks.values():
             for block_id, block_pages in chunk.blocks.items():
-                if remaining < len(block_pages):
+                if remaining <= 0:
                     return block_id
+                if boundary is None and remaining < len(block_pages):
+                    boundary = block_id
                 remaining -= len(block_pages)
-        raise PolicyError(
-            f"cannot skip {skip_pages} of {self._page_count} LRU pages"
-        )
+        assert boundary is not None  # skip_pages < page_count guarantees it
+        return boundary
 
     def victim_page(self, skip_pages: int = 0) -> int:
         """LRU page after skipping ``skip_pages`` protected pages."""

@@ -9,20 +9,30 @@ page-table walk of Table 2 as a constant latency.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .. import constants
 from ..errors import PageTableError
 from .addressing import AddressSpace, DEFAULT_ADDRESS_SPACE
-from .page import PageState, PageTableEntry
+from .page import PageFlagStore, PageState, PageTableEntry
 
 
 class GpuPageTable:
-    """Page-index keyed PTE store with state-transition checking."""
+    """Page-index keyed PTE store with state-transition checking.
+
+    The mutable per-page mark fields (valid/accessed/dirty bits and the
+    last-access timestamp) live in the table's :class:`PageFlagStore`
+    numpy arrays; :class:`PageTableEntry` objects carry the state machine
+    and proxy the mark fields, which lets the fast engine commit whole
+    access spans with vectorized scatters (:meth:`mark_access_span`).
+    """
 
     def __init__(self, space: AddressSpace | None = None,
                  walk_cycles: int = constants.PAGE_TABLE_WALK_CYCLES) -> None:
         self.space = space or DEFAULT_ADDRESS_SPACE
         self.walk_cycles = walk_cycles
         self._entries: dict[int, PageTableEntry] = {}
+        self._store = PageFlagStore()
         self._valid_count = 0
 
     # --- lookup -------------------------------------------------------------
@@ -30,7 +40,7 @@ class GpuPageTable:
         """The PTE for ``page``, creating an INVALID one if absent."""
         pte = self._entries.get(page)
         if pte is None:
-            pte = PageTableEntry(page)
+            pte = PageTableEntry(page, self._store)
             self._entries[page] = pte
         return pte
 
@@ -72,9 +82,12 @@ class GpuPageTable:
                 f"page {page} finished migration while {pte.state}"
             )
         pte.state = PageState.VALID
-        pte.dirty = False
-        pte.accessed = False
-        pte.last_access_ns = time_ns
+        store = self._store
+        index = page - store.base
+        store.valid[index] = True
+        store.dirty[index] = False
+        store.accessed[index] = False
+        store.last_access[index] = time_ns
         pte.migration_count += 1
         self._valid_count += 1
         return pte
@@ -94,7 +107,68 @@ class GpuPageTable:
         pte = self._entries.get(page)
         if pte is None or pte.state is not PageState.VALID:
             raise PageTableError(f"access to non-valid page {page}")
-        pte.mark_access(time_ns, is_write)
+        store = self._store
+        index = page - store.base
+        store.accessed[index] = True
+        store.last_access[index] = time_ns
+        if is_write:
+            store.dirty[index] = True
+
+    def mark_access_many(self, pages, times, written) -> None:
+        """Batch :meth:`mark_access` over a compressed access window.
+
+        Fast-path helper (:mod:`repro.core.fastpath`): ``pages[i]`` was
+        last accessed at ``times[i]`` and ``written`` is the set of pages
+        with at least one write in the window.  Per PTE this is exactly
+        the fold of the individual ``mark_access`` calls — ``accessed``
+        latches, ``last_access_ns`` takes the final time, ``dirty`` ORs
+        the writes — so marking once per distinct page is equivalent.
+        """
+        entries = self._entries
+        store = self._store
+        base = store.base
+        accessed = store.accessed
+        last_access = store.last_access
+        dirty = store.dirty
+        for page, time_ns in zip(pages, times):
+            pte = entries.get(page)
+            if pte is None or pte.state is not PageState.VALID:
+                raise PageTableError(f"access to non-valid page {page}")
+            index = page - base
+            accessed[index] = True
+            last_access[index] = time_ns
+            if page in written:
+                dirty[index] = True
+
+    def mark_access_span(self, pages, sel, times, writes) -> list[int]:
+        """Vectorized :meth:`mark_access` fold over a deferred access span.
+
+        ``pages``/``times`` are execution-order arrays; ``sel`` selects
+        the last occurrence of each distinct page (ascending); ``writes``
+        is a boolean mask over ``pages`` marking written accesses, or
+        None when the span has no writes.
+        Returns the distinct pages (``pages[sel]``) as a list
+        for the eviction-policy batch touch.  All span pages must be
+        VALID — the fast engine flushes before anything can invalidate.
+        """
+        store = self._store
+        index = pages - store.base
+        if (index.size and (index.min() < 0 or index.max() >= store.size)) \
+                or not store.valid[index].all():
+            # A page escaped the residency guarantee; redo the checks
+            # scalar-wise to name the culprit like mark_access would.
+            entries = self._entries
+            for page in pages.tolist():
+                pte = entries.get(page)
+                if pte is None or pte.state is not PageState.VALID:
+                    raise PageTableError(f"access to non-valid page {page}")
+            raise PageTableError("valid-bit store out of sync with PTE states")
+        dsel = index[sel]
+        store.accessed[dsel] = True
+        store.last_access[dsel] = times[sel]
+        if writes is not None:
+            store.dirty[index[writes]] = True
+        return pages[sel].tolist()
 
     # --- policy queries -------------------------------------------------------
     def valid_pages_in_block(self, block: int) -> list[int]:
@@ -109,10 +183,14 @@ class GpuPageTable:
 
     def dirty_pages(self, pages: list[int]) -> list[int]:
         """Subset of ``pages`` whose dirty flag is set."""
+        store = self._store
+        base = store.base
+        size = store.size
+        dirty = store.dirty
         out = []
         for page in pages:
-            pte = self._entries.get(page)
-            if pte is not None and pte.dirty:
+            index = page - base
+            if 0 <= index < size and dirty[index]:
                 out.append(page)
         return out
 

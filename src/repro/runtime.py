@@ -9,7 +9,7 @@ knows how to run a whole :class:`~repro.workloads.base.Workload`.
 from __future__ import annotations
 
 from .config import SimulatorConfig
-from .core.engine import Simulator
+from .core.engine import Simulator, make_simulator
 from .gpu.kernel import KernelSpec
 from .memory.allocation import ManagedAllocation
 from .stats import AllocationStats, SimStats
@@ -21,7 +21,7 @@ class UvmRuntime:
 
     def __init__(self, config: SimulatorConfig) -> None:
         self.config = config
-        self.simulator = Simulator(config)
+        self.simulator = make_simulator(config)
 
     # --- CUDA-like surface ----------------------------------------------------
     def malloc_managed(self, name: str,
@@ -112,7 +112,7 @@ class MultiWorkloadRuntime:
 
     def __init__(self, config: SimulatorConfig) -> None:
         self.config = config
-        self.simulator = Simulator(config)
+        self.simulator = make_simulator(config)
         self._entries: list[tuple[str, Workload]] = []
 
     def add_workload(self, label: str, workload: Workload) -> None:

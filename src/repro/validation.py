@@ -216,6 +216,37 @@ def _check_tune(checks: list[ClaimCheck], scale: float) -> None:
     ))
 
 
+def _check_fastpath(checks: list[ClaimCheck], scale: float) -> None:
+    """Both engines must produce byte-identical results.
+
+    Runs the fixed :func:`repro.bench.equivalence_matrix` — seeds ×
+    workloads × policy pairings × over-subscription levels, plus
+    fault-profile and tracing cells — under ``engine="reference"`` and
+    ``engine="fast"`` and byte-compares ``SimStats.to_json()`` per cell.
+    This is not a statistical claim about the paper but the correctness
+    gate that makes the fast engine's numbers *mean* anything: every
+    figure reproduced above may be produced by either engine only
+    because this claim holds.
+    """
+    from .bench import compare_engines
+
+    results = compare_engines(scale=scale)
+    mismatched = [r.cell.name for r in results if not r.identical]
+    passed = sum(1 for r in results if r.identical)
+    measured = f"{passed}/{len(results)} cells byte-identical"
+    if mismatched:
+        measured += f"; mismatched: {', '.join(mismatched[:4])}"
+    checks.append(ClaimCheck(
+        "fastpath-equiv",
+        "the batched fast engine is result-identical to the reference "
+        "discrete-event engine across workloads, policy pairings, "
+        "over-subscription levels, fault profiles, and tracing modes",
+        "engine selection must never change simulation results",
+        measured,
+        not mismatched,
+    ))
+
+
 #: (claim-id-prefix, section description, section runner).  Sections are
 #: isolated: one crashing experiment yields a failed ClaimCheck, not a
 #: crashed validation run.
@@ -227,6 +258,7 @@ _SECTIONS = (
     ("fig13", "over-subscription scaling", _check_fig13),
     ("fig15/16", "TBNe vs 2MB + thrashing", _check_fig15_fig16),
     ("tune", "policy auto-tuner paper fidelity", _check_tune),
+    ("fastpath", "engine differential equivalence", _check_fastpath),
 )
 
 

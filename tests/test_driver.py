@@ -5,6 +5,7 @@ import pytest
 from repro import constants
 from repro.config import SimulatorConfig
 from repro.core.engine import Simulator
+from repro.errors import SimulationError
 from repro.gpu.kernel import KernelSpec, ThreadBlockSpec, WarpSpec
 from repro.memory.page import PageState
 
@@ -204,3 +205,57 @@ class TestUserPrefetch:
         sim.synchronize()
         assert sim.frames.used <= sim.frames.capacity
         sim.check_invariants()
+
+
+class TestRangeBoundsValidation:
+    """prefetch_async / cpu_access must reject out-of-allocation ranges.
+
+    Regression: these used to silently build global page indices past the
+    allocation's reserved VA (or into a neighbouring allocation) and
+    corrupt its residency.
+    """
+
+    def _sim_with_alloc(self):
+        sim = make_sim()
+        sim.malloc_managed("a", MIB)        # 256 pages
+        sim.malloc_managed("b", MIB)        # neighbour that must stay cold
+        return sim
+
+    def test_prefetch_negative_first_page(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError, match="prefetch_async"):
+            sim.prefetch_async("a", first_page=-1)
+
+    def test_prefetch_oversized_num_pages(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError, match="outside allocation"):
+            sim.prefetch_async("a", first_page=0, num_pages=257)
+
+    def test_prefetch_range_past_end(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError, match="'a' with 256 pages"):
+            sim.prefetch_async("a", first_page=200, num_pages=100)
+
+    def test_prefetch_negative_num_pages(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError, match="num_pages=-4"):
+            sim.prefetch_async("a", first_page=8, num_pages=-4)
+
+    def test_cpu_access_out_of_range(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError, match="cpu_access"):
+            sim.cpu_access("a", first_page=256, num_pages=1)
+
+    def test_rejected_range_leaves_neighbour_untouched(self):
+        sim = self._sim_with_alloc()
+        with pytest.raises(SimulationError):
+            sim.prefetch_async("a", num_pages=512)  # would spill into "b"
+        sim.synchronize()
+        assert sim.residency_map("b").count(True) == 0
+        assert sim.frames.used == 0
+
+    def test_full_allocation_default_still_works(self):
+        sim = self._sim_with_alloc()
+        sim.prefetch_async("a")
+        sim.synchronize()
+        assert all(sim.residency_map("a"))

@@ -121,10 +121,26 @@ class TestHierarchicalLRU:
         for page in (16, 17):
             lru.insert(page)
         assert lru.victim_block(skip_pages=0) == 0
-        assert lru.victim_block(skip_pages=2) == 0
+        # A reservation boundary falling mid-block protects the whole
+        # block: eviction removes entire blocks, so returning block 0
+        # here (the pre-fix behaviour) would evict pages 0-2 even though
+        # the skip promised to keep two of them.
+        assert lru.victim_block(skip_pages=2) == 1
         assert lru.victim_block(skip_pages=3) == 1
         with pytest.raises(PolicyError):
             lru.victim_block(skip_pages=5)
+
+    def test_victim_block_skip_into_last_block_falls_back(self):
+        # When the reservation cuts into the last block no block is fully
+        # unprotected; the boundary block is returned anyway (documented
+        # fallback: partial protection of the MRU-most block beats
+        # deadlocking the eviction path).
+        lru = HierarchicalLRU()
+        for page in (0, 1, 2):
+            lru.insert(page)
+        for page in (16, 17):
+            lru.insert(page)
+        assert lru.victim_block(skip_pages=4) == 1
 
     def test_victim_page_with_skip(self):
         lru = HierarchicalLRU()

@@ -138,3 +138,37 @@ class TestEventQueue:
         assert queue.next_time is None
         queue.push(3.0, lambda now: None)
         assert queue.next_time == 3.0
+
+
+class TestEventQueueDiagnostics:
+    """Negative-time errors must name the offending callback."""
+
+    def test_negative_time_error_names_callback(self):
+        def my_late_callback(now):
+            pass
+
+        with pytest.raises(SimulationError,
+                           match="my_late_callback"):
+            EventQueue().push(-5.0, my_late_callback)
+
+    def test_negative_time_error_unwraps_partial(self):
+        import functools
+
+        def wrapped_handler(tag, now):
+            pass
+
+        bound = functools.partial(wrapped_handler, "tag")
+        with pytest.raises(SimulationError, match="wrapped_handler"):
+            EventQueue().push(-1.0, bound)
+
+    def test_negative_time_error_includes_timestamp(self):
+        with pytest.raises(SimulationError, match="-2.5"):
+            EventQueue().push(-2.5, lambda now: None)
+
+    def test_callback_annotation_is_float_to_none(self):
+        from typing import Callable
+
+        from repro.core.events import EventCallback
+
+        # The public alias documents the contract: callback(now_ns).
+        assert EventCallback == Callable[[float], None]

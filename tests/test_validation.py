@@ -22,7 +22,7 @@ class TestValidateClaims:
             "table1", "fig3-prefetch", "fig3-ordering", "fig5-faults",
             "fig6-oversub", "fig6-buffer", "fig11-combos",
             "fig13-scaling", "fig15-2mb", "fig16-thrash",
-            "tune-recover",
+            "tune-recover", "fastpath-equiv",
         ]
 
     def test_every_check_is_populated(self, checks):
@@ -40,6 +40,8 @@ class TestValidateClaims:
         assert by_id["fig5-faults"].passed
         # The tune check runs at a pinned scale, so it passes too.
         assert by_id["tune-recover"].passed
+        # Engine equivalence is exact at every scale by construction.
+        assert by_id["fastpath-equiv"].passed
 
     def test_majority_reproduced_at_tiny_scale(self, checks):
         assert sum(1 for check in checks if check.passed) >= 7
