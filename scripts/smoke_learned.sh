@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Fast end-to-end smoke of the learned-policy subsystem: a tiny
+# ext-learned-style table over the learned pairings, the
+# learned-competitive + learned-deterministic validation claims at the
+# pinned regime, a check that the fast engine refuses learned policies,
+# and the dedicated test modules.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== learned policies are registered =="
+python -m repro list | tee "$out_dir/list.out"
+grep -q '^learned   : bandit, logistic, ngram' "$out_dir/list.out" || {
+    echo "FAIL: repro list does not advertise the learned policies" >&2
+    exit 1
+}
+
+echo
+echo "== tiny learned-vs-hand-built table (scale 0.1, one fan-out) =="
+python - <<'EOF'
+from repro.experiments.extension_learned import learned_table
+
+results = learned_table(0.1, percents=(110.0,))
+for (label, percent), per_workload in sorted(results.items()):
+    for name, stats in per_workload.items():
+        print(f"{label:10s} {name:5s} {percent:.0f}% "
+              f"{stats.total_kernel_time_ns / 1e6:8.3f} ms")
+EOF
+
+echo
+echo "== learned validation claims at the pinned regime =="
+python - <<'EOF'
+import sys
+from repro.validation import _check_learned
+
+checks = []
+_check_learned(checks, 0.15)
+for check in checks:
+    mark = "PASS" if check.passed else "FAIL"
+    print(f"{check.claim_id:22s} {mark}  {check.measured}")
+if not all(check.passed for check in checks):
+    sys.exit(1)
+EOF
+
+echo
+echo "== fast engine must refuse learned policies =="
+python - <<'EOF'
+import sys
+from repro.config import SimulatorConfig
+from repro.errors import SimulationError
+
+try:
+    SimulatorConfig(engine="fast", prefetcher="ngram")
+except SimulationError:
+    sys.exit(0)
+print("FAIL: engine='fast' accepted a learned policy", file=sys.stderr)
+sys.exit(1)
+EOF
+
+echo
+echo "== learned-policy test modules =="
+python -m pytest tests/test_learned_policies.py \
+    tests/test_policy_protocol.py -q -m ""
+
+echo
+echo "learned smoke OK"

@@ -66,6 +66,7 @@ from .experiments import (
     extension_adaptive,
     extension_autotune,
     extension_colocation,
+    extension_learned,
     extension_resilience,
     fig2_microbench,
     fig3_prefetch_time,
@@ -96,6 +97,7 @@ from .tune import (
     get_objective,
     load_card,
     make_driver,
+    pairings_axis,
     parse_server_url,
     recommendation_for,
     tune_workload,
@@ -146,6 +148,9 @@ EXPERIMENTS = {
     # recovery at the operating point where the ground truth is known.
     "ext-autotune": lambda scale: extension_autotune.run(),
     "ext-colocation": lambda scale: extension_colocation.run(scale=scale),
+    # Pinned for the same reason as ext-autotune: the learned policies'
+    # epoch/window knobs are sized for the validated 0.3 regime.
+    "ext-learned": lambda scale: extension_learned.run(),
     "ext-resilience": lambda scale: extension_resilience.run(scale=scale),
 }
 
@@ -226,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render an ASCII bar chart")
     exp_p.add_argument("--out", type=Path, default=None,
                        help="directory to write tables into")
+    exp_p.add_argument("--include-learned", action="store_true",
+                       help="extend ext-autotune's pairing axis with "
+                            "the learned policies (cards stay "
+                            "byte-stable without it)")
     add_sweep_flags(exp_p)
 
     sweep_p = sub.add_parser("sweep",
@@ -538,6 +547,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[0], metavar="N",
                         help="fault-batch-limit axis (default: 0 = "
                              "unlimited)")
+    tune_p.add_argument("--include-learned", action="store_true",
+                        help="extend the pairing axis with the learned "
+                             "policies (cards stay byte-stable without "
+                             "it)")
     tune_p.add_argument("--via-server", default=None, metavar="URL",
                         help="evaluate cells on a running `repro serve` "
                              "daemon instead of in-process")
@@ -597,9 +610,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_list() -> int:
+    from .policy import learned_names
     print("workloads :", ", ".join(SUITE_ORDER))
     print("prefetch  :", ", ".join(sorted(PREFETCHER_REGISTRY)))
     print("eviction  :", ", ".join(sorted(EVICTION_REGISTRY)))
+    learned = sorted(set(learned_names("prefetch"))
+                     | set(learned_names("evict")))
+    print("learned   :", ", ".join(learned),
+          "(reference engine only; see docs/POLICIES.md)")
     print("experiments:", ", ".join(sorted(EXPERIMENTS)), "+ all")
     return 0
 
@@ -765,7 +783,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     with sweep_context(jobs=args.jobs, cache=_run_cache(args)) as report:
         for name in names:
-            result = EXPERIMENTS[name](args.scale)
+            if name == "ext-autotune" and args.include_learned:
+                result = extension_autotune.run(include_learned=True)
+            else:
+                result = EXPERIMENTS[name](args.scale)
             print(result.to_table())
             if args.chart:
                 print()
@@ -1049,6 +1070,7 @@ def cmd_top(args: argparse.Namespace) -> int:
 def cmd_tune(args: argparse.Namespace) -> int:
     space = SearchSpace(
         percents=tuple(args.percents),
+        pairings=pairings_axis(args.include_learned),
         tbn_thresholds=tuple(args.thresholds),
         fault_batch_limits=tuple(args.batch_limits),
     )

@@ -288,6 +288,36 @@ class SimulatorConfig:
                 raise ConfigurationError(
                     f"{name} must be a non-negative integer, got {value!r}"
                 )
+        # Policy names resolve against the registries (PolicyError lists
+        # the known names), and the fast engine is refused up front for
+        # policies that did not declare byte-identical batched-access
+        # equivalence.  Lazy imports: the registries live below config in
+        # the import graph (same pattern as FaultProfile above).
+        from .core.evict import EVICTION_REGISTRY  # noqa: PLC0415
+        from .core.prefetch import PREFETCHER_REGISTRY  # noqa: PLC0415
+        from .errors import PolicyError, SimulationError  # noqa: PLC0415
+        if self.prefetcher not in PREFETCHER_REGISTRY:
+            known = ", ".join(sorted(PREFETCHER_REGISTRY))
+            raise PolicyError(
+                f"unknown prefetcher {self.prefetcher!r}; known: {known}"
+            )
+        if self.eviction not in EVICTION_REGISTRY:
+            known = ", ".join(sorted(EVICTION_REGISTRY))
+            raise PolicyError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"known: {known}"
+            )
+        if self.engine == "fast":
+            from .policy.registry import \
+                pair_supports_fastpath  # noqa: PLC0415
+            if not pair_supports_fastpath(self.prefetcher, self.eviction):
+                raise SimulationError(
+                    f"engine='fast' is not supported with "
+                    f"prefetcher={self.prefetcher!r} / "
+                    f"eviction={self.eviction!r}: a selected policy "
+                    f"declares supports_fastpath=False; use "
+                    f"engine='reference'"
+                )
 
     @property
     def pages_per_block(self) -> int:

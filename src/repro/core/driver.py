@@ -200,6 +200,13 @@ class UvmDriver:
         self._resident_gauge.set(page_table.valid_count)
         self._frames_gauge.set(self.ctx.frames.used)
 
+        # Observation hooks (no-ops for the built-ins): the frozen batch,
+        # before planning, so learned policies train on what they will be
+        # asked to plan.  Combined policies get the event exactly once.
+        self.prefetcher.on_fault_batch(batch, self.ctx)
+        if self.eviction is not self.prefetcher:
+            self.eviction.on_fault_batch(batch, self.ctx)
+
         self._update_prefetch_gate(len(batch))
         active = self.prefetcher if self.prefetch_enabled else self._fallback
         plan = active.plan(batch, self.ctx)
@@ -518,6 +525,12 @@ class UvmDriver:
                     ctx.frames.release(1, transfer.end_ns)
                 stats.pages_written_back += len(dirty)
                 written_back += len(dirty)
+        # Observation hooks (no-ops for the built-ins): the fully applied
+        # plan, pages now invalid.  Combined policies get the event once.
+        evicted_pages = plan.all_pages()
+        self.eviction.on_evicted(evicted_pages, ctx)
+        if self.prefetcher is not self.eviction:
+            self.prefetcher.on_evicted(evicted_pages, ctx)
         if tracing:
             # Victim selection is instantaneous in simulated time; the
             # write-back wire time shows on the D2H track, so the round

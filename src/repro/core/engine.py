@@ -45,9 +45,9 @@ from ..stats import SimStats
 from .context import UvmContext
 from .driver import UvmDriver
 from .events import EventQueue
-from .evict.base import make_eviction_policy
+from .evict.base import EvictionPolicy, make_eviction_policy
 from .gmmu import Gmmu
-from .prefetch.base import make_prefetcher
+from .prefetch.base import Prefetcher, make_prefetcher
 
 
 class Simulator:
@@ -58,7 +58,9 @@ class Simulator:
     #: against 45 us fault latencies).
     SM_QUANTUM = 64
 
-    def __init__(self, config: SimulatorConfig) -> None:
+    def __init__(self, config: SimulatorConfig, *,
+                 prefetcher: Prefetcher | None = None,
+                 eviction: EvictionPolicy | None = None) -> None:
         self.config = config
         self.space = AddressSpace(config.page_size, config.basic_block_size,
                                   config.large_page_size)
@@ -83,9 +85,25 @@ class Simulator:
                              injector=self.injector, tracer=self.tracer)
         self.mshr = FarFaultMSHR(config.mshr_entries,
                                  injector=self.injector)
+        # Policy adoption: injected instances (tests, subclassed knob
+        # variants) or fresh ones from the registries.  A combined
+        # name selecting one class for both roles shares a single
+        # instance, so its hooks fire once per event.  reset() clears any
+        # state a reused instance carried from a previous run.
+        if prefetcher is None and eviction is None:
+            from ..policy.registry import make_policy_pair
+            prefetcher, eviction = make_policy_pair(config.prefetcher,
+                                                    config.eviction)
+        else:
+            if prefetcher is None:
+                prefetcher = make_prefetcher(config.prefetcher)
+            if eviction is None:
+                eviction = make_eviction_policy(config.eviction)
+        prefetcher.reset()
+        if eviction is not prefetcher:
+            eviction.reset()
         self.driver = UvmDriver(self.ctx, self.link, self.mshr,
-                                make_prefetcher(config.prefetcher),
-                                make_eviction_policy(config.eviction),
+                                prefetcher, eviction,
                                 injector=self.injector,
                                 tracer=self.tracer)
         self.driver.engine = self
@@ -394,15 +412,21 @@ class Simulator:
             tree.check_consistency()
 
 
-def make_simulator(config: SimulatorConfig) -> Simulator:
+def make_simulator(config: SimulatorConfig, *,
+                   prefetcher: Prefetcher | None = None,
+                   eviction: EvictionPolicy | None = None) -> Simulator:
     """Build the engine selected by ``config.engine``.
 
     ``"reference"`` is the event-for-event model above; ``"fast"`` is the
     batched :class:`~repro.core.fastpath.FastSimulator`, which must be
     byte-identical in results (gated by the ``fastpath-equiv`` validate
-    claim and ``repro bench --compare``).
+    claim and ``repro bench --compare``).  Explicit ``prefetcher`` /
+    ``eviction`` instances bypass the registries (tests, subclassed knob
+    variants); they are reset() before adoption, so a reused instance
+    behaves like a fresh one.
     """
     if config.engine == "fast":
         from .fastpath import FastSimulator
-        return FastSimulator(config)
-    return Simulator(config)
+        return FastSimulator(config, prefetcher=prefetcher,
+                             eviction=eviction)
+    return Simulator(config, prefetcher=prefetcher, eviction=eviction)

@@ -19,3 +19,11 @@ __all__ = [
     "SequentialLocalPreEviction",
     "TreeBasedNeighborhoodPreEviction",
 ]
+
+# Canonical registration point for the learned eviction baselines
+# (repro.policy): importing the modules runs their @register_eviction
+# decorators, so every EVICTION_REGISTRY consumer sees them.  Module
+# imports (no attribute access) keep the prefetch<->evict circular
+# import of the combined bandit policy resolvable.
+from ...policy import bandit as _bandit  # noqa: E402,F401
+from ...policy import logistic as _logistic  # noqa: E402,F401

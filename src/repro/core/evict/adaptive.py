@@ -49,6 +49,13 @@ class AdaptivePreEviction(EvictionPolicy):
         self._epoch_evictions = 0
         self._epoch_thrashed = 0
 
+    def reset(self) -> None:
+        self._lru = None
+        self._cascading = True
+        self._recent.clear()
+        self._epoch_evictions = 0
+        self._epoch_thrashed = 0
+
     def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
         if self._lru is None:
             self._lru = HierarchicalLRU(ctx.space)

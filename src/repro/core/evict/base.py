@@ -21,14 +21,20 @@ from abc import ABC, abstractmethod
 from typing import Callable
 
 from ...errors import PolicyError
+from ...policy.base import Policy
 from ..context import UvmContext
 from ..plans import EvictionPlan
 
 
-class EvictionPolicy(ABC):
-    """Base class of all eviction policies."""
+class EvictionPolicy(Policy, ABC):
+    """Base class of all eviction policies.
 
-    name: str = "abstract"
+    An eviction policy is a :class:`~repro.policy.base.Policy` whose
+    recency-bookkeeping hooks are *mandatory* (abstract here) because
+    the plans it emits depend on them; the remaining hooks
+    (``on_fault_batch``, ``on_evicted``, ``reset``) stay optional
+    no-ops from the shared base.
+    """
 
     @abstractmethod
     def on_validated(self, page: int, ctx: UvmContext) -> None:
@@ -67,9 +73,6 @@ class EvictionPolicy(ABC):
     @abstractmethod
     def evictable_pages(self) -> int:
         """How many pages this policy could evict right now."""
-
-    def __repr__(self) -> str:
-        return f"<{type(self).__name__} {self.name!r}>"
 
 
 EVICTION_REGISTRY: dict[str, Callable[[], EvictionPolicy]] = {}

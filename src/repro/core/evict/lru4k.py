@@ -33,6 +33,10 @@ class Lru4kEviction(EvictionPolicy):
         #: Valid pages that were never accessed (not in the LRU list).
         self._unaccessed: OrderedDict[int, None] = OrderedDict()
 
+    def reset(self) -> None:
+        self._lru = FlatLRU()
+        self._unaccessed.clear()
+
     def on_validated(self, page: int, ctx: UvmContext) -> None:
         if self.insert_on_validation:
             self._lru.insert(page)

@@ -25,6 +25,11 @@ class RandomEviction(EvictionPolicy):
     def __init__(self) -> None:
         self._members: RandomMembership | None = None
 
+    def reset(self) -> None:
+        # Dropping the membership also drops the bound ctx.rng, so the
+        # next run re-binds its own context's stream.
+        self._members = None
+
     def _membership(self, ctx: UvmContext) -> RandomMembership:
         if self._members is None:
             self._members = RandomMembership(ctx.rng)

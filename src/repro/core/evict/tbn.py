@@ -27,6 +27,11 @@ class TreeBasedNeighborhoodPreEviction(EvictionPolicy):
     def __init__(self) -> None:
         self._lru: HierarchicalLRU | None = None
 
+    def reset(self) -> None:
+        # The LRU binds a run's AddressSpace; drop it so the next run
+        # rebuilds against its own context.
+        self._lru = None
+
     def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
         if self._lru is None:
             self._lru = HierarchicalLRU(ctx.space)

@@ -97,10 +97,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SimulatorConfig
+from ..errors import SimulationError
 from ..gpu.sm import StreamingMultiprocessor
 from ..gpu.warp import WarpState
 from ..memory.tlb import Tlb
 from .engine import Simulator
+from .evict.base import EvictionPolicy
+from .prefetch.base import Prefetcher
 
 #: Bitmap pages are tracked relative to a base rounded down to this many
 #: pages, so neighbouring allocations land in one array.
@@ -237,8 +240,21 @@ class FastSimulator(Simulator):
     #: (many warps, tiny slices) the scalar scan is cheaper.
     _MIN_UNIFORM_SHARE = 2
 
-    def __init__(self, config: SimulatorConfig) -> None:
-        super().__init__(config)
+    def __init__(self, config: SimulatorConfig, *,
+                 prefetcher: Prefetcher | None = None,
+                 eviction: EvictionPolicy | None = None) -> None:
+        super().__init__(config, prefetcher=prefetcher, eviction=eviction)
+        # Defense in depth behind config.validate(): the vectorized access
+        # windows only preserve byte-identity for policies that declared
+        # it, so an unsupported policy must never reach this engine (an
+        # injected instance bypasses the config-time check).
+        for policy in (self.driver.prefetcher, self.driver.eviction):
+            if not policy.supports_fastpath:
+                raise SimulationError(
+                    f"policy {policy.name!r} does not support the fast "
+                    f"engine (supports_fastpath=False); use "
+                    f"engine='reference'"
+                )
         #: Per-access instrumentation or L2 state threads order through
         #: the hit path; those modes run the reference loop verbatim.
         self._fast_issue = not config.record_access_trace \

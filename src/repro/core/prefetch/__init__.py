@@ -20,3 +20,11 @@ __all__ = [
     "ZhengLocalityPrefetcher",
     "ZhengSequentialPrefetcher",
 ]
+
+# Canonical registration point for the learned prefetch baselines
+# (repro.policy): importing the modules runs their @register_prefetcher
+# decorators, so every PREFETCHER_REGISTRY consumer sees them.  Module
+# imports (no attribute access) keep the prefetch<->evict circular
+# import of the combined bandit policy resolvable.
+from ...policy import bandit as _bandit  # noqa: E402,F401
+from ...policy import ngram as _ngram  # noqa: E402,F401

@@ -20,23 +20,23 @@ from abc import ABC, abstractmethod
 from typing import Callable
 
 from ...errors import PolicyError
+from ...policy.base import Policy
 from ..context import UvmContext
 from ..plans import MigrationPlan
 
 
-class Prefetcher(ABC):
-    """Base class of all hardware prefetchers."""
+class Prefetcher(Policy, ABC):
+    """Base class of all hardware prefetchers.
 
-    #: Registry key and display name.
-    name: str = "abstract"
+    A prefetcher is a :class:`~repro.policy.base.Policy`: it inherits
+    the full observation-hook set (``on_fault_batch``, ``reset``, ...)
+    as no-ops and adds the planning method of the prefetch role.
+    """
 
     @abstractmethod
     def plan(self, faulted_pages: list[int],
              ctx: UvmContext) -> MigrationPlan:
         """Plan the migrations for one batch of faulted pages."""
-
-    def __repr__(self) -> str:
-        return f"<{type(self).__name__} {self.name!r}>"
 
 
 PREFETCHER_REGISTRY: dict[str, Callable[[], Prefetcher]] = {}

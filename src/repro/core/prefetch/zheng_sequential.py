@@ -29,6 +29,9 @@ class ZhengSequentialPrefetcher(Prefetcher):
         #: Allocation name -> next page offset the cursor will consider.
         self._cursors: dict[str, int] = {}
 
+    def reset(self) -> None:
+        self._cursors.clear()
+
     def plan(self, faulted_pages: list[int],
              ctx: UvmContext) -> MigrationPlan:
         fault_set = set(faulted_pages)

@@ -20,6 +20,7 @@ from ..tune import (
     SearchSpace,
     TuneRequest,
     get_objective,
+    pairings_axis,
     recommendation_for,
     tune_workload,
 )
@@ -38,14 +39,23 @@ BASELINE = "LRU4K+on-demand"
 def tune_cards(scale: float,
                workload_names: tuple[str, ...] = WORKLOADS,
                percents: tuple[float, ...] = PERCENTS,
-               seed: int = 0) -> dict[str, dict]:
-    """One recommendation card per workload (grid driver, kernel time)."""
+               seed: int = 0,
+               include_learned: bool = False) -> dict[str, dict]:
+    """One recommendation card per workload (grid driver, kernel time).
+
+    ``include_learned`` extends the pairing axis with the learned
+    candidates of :data:`repro.policy.LEARNED_PAIRINGS`; off by default
+    so the cards stay byte-stable.
+    """
     cards = {}
     for name in workload_names:
         request = TuneRequest(
             workload=name,
             scale=scale,
-            space=SearchSpace(percents=tuple(percents)),
+            space=SearchSpace(
+                percents=tuple(percents),
+                pairings=pairings_axis(include_learned),
+            ),
             driver=GridSearch(),
             objective=get_objective("kernel-time"),
             seed=seed,
@@ -54,7 +64,8 @@ def tune_cards(scale: float,
     return cards
 
 
-def run(scale: float = 0.3) -> ExperimentResult:
+def run(scale: float = 0.3,
+        include_learned: bool = False) -> ExperimentResult:
     """Winner per (workload, over-subscription level), by search.
 
     ``scale`` defaults to (and the CLI pins it at) 0.3: the pairing
@@ -63,7 +74,7 @@ def run(scale: float = 0.3) -> ExperimentResult:
     (gemm -> TBNe+TBNp, bfs -> SLe+SLp); at other scales the pairings
     can tie and the tie-break crowns the baseline.
     """
-    cards = tune_cards(scale)
+    cards = tune_cards(scale, include_learned=include_learned)
     result = ExperimentResult(
         name="Extension: autotune",
         description="tuner-recommended pairing per over-subscription "

@@ -1,0 +1,188 @@
+"""Feature-hashed logistic evictor (learned baseline 3).
+
+Scores eviction-candidate 64 KB blocks with an online-trained logistic
+model over hashed (feature, bucket) pairs — recency rank, valid-page
+density, and fault-neighbourhood — and evicts the block *least* likely
+to be reused.  Bookkeeping is the same hierarchical LRU the hand-built
+block policies use; the model only re-ranks the LRU's head.
+
+Supervision is self-generated thrash feedback: each evicted page
+remembers the feature vector of its eviction decision; if the page
+migrates back while still remembered (``on_validated``), that decision
+trains toward "reused" (label 1), and decisions whose pages age out of
+the memory window without returning train toward "not reused" (label
+0).  All updates are plain SGD on a fixed-size numpy weight vector;
+feature hashing uses explicit Knuth multiplicative mixing (never
+Python's salted ``hash``), so same-seed runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.context import UvmContext
+from ..core.evict.base import EvictionPolicy, register_eviction
+from ..core.plans import EvictionPlan, EvictionUnit
+from ..memory.lru import HierarchicalLRU
+
+#: Knuth multiplicative-hash constant (2654435761 = 2^32 / phi).
+_MIX = 2654435761
+_MOD = 1 << 32
+
+
+def _feature_index(feature_id: int, bucket: int, dim: int) -> int:
+    """Deterministic (feature, bucket) -> weight-index hash."""
+    return ((feature_id * 1000003 + bucket) * _MIX % _MOD) % dim
+
+
+@register_eviction
+class LogisticEvictor(EvictionPolicy):
+    """Evicts the candidate block with the lowest predicted reuse."""
+
+    name = "logistic"
+    supports_fastpath = False
+    learned = True
+
+    #: Hashed weight-vector dimensionality.
+    DIM = 64
+    #: SGD step size.
+    LEARNING_RATE = 0.1
+    #: LRU-head blocks scored per victim selection.
+    CANDIDATES = 8
+    #: Evicted pages remembered for thrash feedback.
+    RECENT_WINDOW = 2048
+    #: Density buckets (valid pages per block quantized).
+    DENSITY_BUCKETS = 4
+
+    def __init__(self) -> None:
+        self._lru: HierarchicalLRU | None = None
+        self._weights = np.zeros(self.DIM, dtype=np.float64)
+        #: Evicted page -> feature vector of the eviction decision.
+        self._recent: OrderedDict[int, np.ndarray] = OrderedDict()
+        #: Blocks faulted in the last few batches (neighbourhood signal).
+        self._hot_blocks: OrderedDict[int, None] = OrderedDict()
+        self._hot_limit = 64
+
+    def reset(self) -> None:
+        self._lru = None
+        self._weights = np.zeros(self.DIM, dtype=np.float64)
+        self._recent.clear()
+        self._hot_blocks.clear()
+
+    def _structure(self, ctx: UvmContext) -> HierarchicalLRU:
+        if self._lru is None:
+            self._lru = HierarchicalLRU(ctx.space)
+        return self._lru
+
+    # --- bookkeeping -------------------------------------------------------
+    def on_fault_batch(self, pages, ctx: UvmContext) -> None:
+        for page in pages:
+            block = ctx.space.block_of_page(page)
+            self._hot_blocks.pop(block, None)
+            self._hot_blocks[block] = None
+        while len(self._hot_blocks) > self._hot_limit:
+            self._hot_blocks.popitem(last=False)
+
+    def on_validated(self, page: int, ctx: UvmContext) -> None:
+        features = self._recent.pop(page, None)
+        if features is not None:
+            # A remembered eviction came back: it evicted a live page.
+            self._train(features, label=1.0)
+        self._structure(ctx).insert(page)
+
+    def on_accessed(self, page: int, ctx: UvmContext) -> None:
+        self._structure(ctx).touch(page)
+
+    def on_accessed_many(self, pages, ctx: UvmContext) -> None:
+        touch = self._structure(ctx).touch
+        for page in pages:
+            touch(page)
+
+    def on_invalidated_externally(self, page: int,
+                                  ctx: UvmContext) -> None:
+        lru = self._structure(ctx)
+        if page in lru:
+            lru.remove(page)
+
+    def evictable_pages(self) -> int:
+        return len(self._lru) if self._lru is not None else 0
+
+    # --- model -------------------------------------------------------------
+    def _features(self, rank: int, block: int,
+                  ctx: UvmContext) -> np.ndarray:
+        """Hashed feature vector of one candidate block."""
+        pages_per_block = ctx.config.pages_per_block
+        valid = sum(
+            1 for page in ctx.space.pages_in_block(block)
+            if ctx.page_table.is_valid(page)
+        )
+        density_bucket = min(
+            self.DENSITY_BUCKETS - 1,
+            valid * self.DENSITY_BUCKETS // max(pages_per_block, 1),
+        )
+        near_fault = int(block in self._hot_blocks
+                         or block - 1 in self._hot_blocks
+                         or block + 1 in self._hot_blocks)
+        x = np.zeros(self.DIM, dtype=np.float64)
+        x[_feature_index(0, 0, self.DIM)] += 1.0  # bias
+        x[_feature_index(1, rank, self.DIM)] += 1.0  # recency rank
+        x[_feature_index(2, density_bucket, self.DIM)] += 1.0
+        x[_feature_index(3, near_fault, self.DIM)] += 1.0
+        return x
+
+    def _score(self, x: np.ndarray) -> float:
+        """P(reuse) under the current weights."""
+        z = float(self._weights @ x)
+        if z >= 0:
+            return 1.0 / (1.0 + math.exp(-z))
+        ez = math.exp(z)
+        return ez / (1.0 + ez)
+
+    def _train(self, x: np.ndarray, label: float) -> None:
+        gradient = self._score(x) - label
+        self._weights -= self.LEARNING_RATE * gradient * x
+
+    # --- planning ----------------------------------------------------------
+    def plan_eviction(self, n_pages: int, ctx: UvmContext) -> EvictionPlan:
+        lru = self._structure(ctx)
+        units: list[EvictionUnit] = []
+        freed = 0
+        while freed < n_pages and len(lru):
+            block, features = self._pick_block(lru, ctx)
+            pages = sorted(lru.remove_block(block))
+            units.append(EvictionUnit(pages, unit_writeback=True))
+            freed += len(pages)
+            self._remember(pages, features)
+        return EvictionPlan(units=units)
+
+    def _pick_block(self, lru: HierarchicalLRU,
+                    ctx: UvmContext) -> tuple[int, np.ndarray]:
+        """The candidate block with the lowest predicted reuse.
+
+        Ties resolve to the oldest candidate (strict ``<``), so an
+        untrained model degrades to plain SLe behaviour.
+        """
+        candidates = lru.blocks_in_order()[:self.CANDIDATES]
+        best_block = candidates[0]
+        best_features = self._features(0, best_block, ctx)
+        best_score = self._score(best_features)
+        for rank, block in enumerate(candidates[1:], start=1):
+            features = self._features(rank, block, ctx)
+            score = self._score(features)
+            if score < best_score:
+                best_block, best_features, best_score = \
+                    block, features, score
+        return best_block, best_features
+
+    def _remember(self, pages: list[int], features: np.ndarray) -> None:
+        """Track an eviction decision; expire old ones as label 0."""
+        for page in pages:
+            self._recent.pop(page, None)
+            self._recent[page] = features
+        while len(self._recent) > self.RECENT_WINDOW:
+            _, expired = self._recent.popitem(last=False)
+            # Aged out without returning: the eviction was safe.
+            self._train(expired, label=0.0)

@@ -19,9 +19,11 @@ from .workloads.base import AddressResolver, Workload
 class UvmRuntime:
     """One simulated process: allocations, launches, synchronization."""
 
-    def __init__(self, config: SimulatorConfig) -> None:
+    def __init__(self, config: SimulatorConfig, *,
+                 prefetcher=None, eviction=None) -> None:
         self.config = config
-        self.simulator = make_simulator(config)
+        self.simulator = make_simulator(config, prefetcher=prefetcher,
+                                        eviction=eviction)
 
     # --- CUDA-like surface ----------------------------------------------------
     def malloc_managed(self, name: str,
@@ -75,9 +77,16 @@ class UvmRuntime:
 
 
 def run_workload(workload: Workload, config: SimulatorConfig,
-                 check_invariants: bool = False) -> SimStats:
-    """Convenience one-shot: fresh runtime, run, return stats."""
-    return UvmRuntime(config).run_workload(
+                 check_invariants: bool = False, *,
+                 prefetcher=None, eviction=None) -> SimStats:
+    """Convenience one-shot: fresh runtime, run, return stats.
+
+    ``prefetcher`` / ``eviction`` instances override the registry lookup
+    (tests, subclassed knob variants); they are reset() at engine
+    construction, so a reused instance behaves like a fresh one.
+    """
+    return UvmRuntime(config, prefetcher=prefetcher,
+                      eviction=eviction).run_workload(
         workload, check_invariants=check_invariants
     )
 

@@ -54,7 +54,8 @@ from .objective import (
     metric_vector,
     pareto_frontier,
 )
-from .space import DEFAULT_PAIRINGS, Candidate, SearchSpace
+from .space import DEFAULT_PAIRINGS, Candidate, SearchSpace, \
+    pairings_axis
 from .tuner import TuneRequest, recommended_pairing, rung_scale, \
     tune_workload
 
@@ -85,6 +86,7 @@ __all__ = [
     "make_driver",
     "make_trial",
     "metric_vector",
+    "pairings_axis",
     "parse_server_url",
     "pareto_frontier",
     "recommendation_for",

@@ -33,6 +33,22 @@ DEFAULT_PAIRINGS: tuple[tuple[str, str, str, bool], ...] = \
     tuple(COMBINATIONS)
 
 
+def pairings_axis(
+    include_learned: bool = False,
+) -> tuple[tuple[str, str, str, bool], ...]:
+    """The pairing axis, optionally extended with the learned policies.
+
+    Off by default so existing tune cards stay byte-stable; the CLI's
+    ``--include-learned`` flag (and the autotune extension's
+    ``include_learned``) opt in to the :data:`repro.policy
+    .LEARNED_PAIRINGS` candidates.
+    """
+    if not include_learned:
+        return DEFAULT_PAIRINGS
+    from ..policy import LEARNED_PAIRINGS
+    return DEFAULT_PAIRINGS + tuple(LEARNED_PAIRINGS)
+
+
 @dataclass(frozen=True)
 class Candidate:
     """One point of the policy/knob cross-product."""

@@ -247,6 +247,82 @@ def _check_fastpath(checks: list[ClaimCheck], scale: float) -> None:
     ))
 
 
+def _check_learned(checks: list[ClaimCheck], scale: float) -> None:
+    """The learned policies must be competitive — and deterministic.
+
+    Competitive: at least one learned pairing ties or beats the paper's
+    headline TBNe+TBNp kernel time on at least one workload at 110%
+    over-subscription (tie tolerance 0.1%).  Runs at a pinned scale
+    (0.3) like the tune check: the learned baselines' epoch/window
+    knobs are sized for that regime.
+
+    Deterministic: two fresh same-seed runs of each learned pairing
+    must produce byte-identical ``SimStats.to_json()`` — online
+    training is inside the simulation, so it must be as reproducible
+    as the simulation itself.
+    """
+    from .experiments.common import combo_config, run_workload_setting
+    from .policy import LEARNED_PAIRINGS
+    from .workloads.registry import make_workload
+
+    learned_scale = 0.3
+    percent = 110.0
+    workload_names = ("gemm", "bfs")
+    pairings = (("TBNe+TBNp", "tbn", "tbn", True),) + LEARNED_PAIRINGS
+
+    times: dict[tuple[str, str], float] = {}
+    for name in workload_names:
+        for label, prefetcher, eviction, keep in pairings:
+            workload = make_workload(name, scale=learned_scale)
+            config = combo_config(workload, prefetcher, eviction,
+                                  oversubscription_percent=percent,
+                                  prefetch_under_pressure=keep)
+            stats = run_workload_setting(workload, config)
+            times[(label, name)] = stats.total_kernel_time_ns
+
+    competitive = []
+    for label, _, _, _ in LEARNED_PAIRINGS:
+        for name in workload_names:
+            baseline = times[("TBNe+TBNp", name)]
+            if times[(label, name)] <= baseline * 1.001:
+                competitive.append(f"{label} on {name}")
+    best = min(
+        (times[(label, name)] / times[("TBNe+TBNp", name)], label, name)
+        for label, _, _, _ in LEARNED_PAIRINGS
+        for name in workload_names
+    )
+    checks.append(ClaimCheck(
+        "learned-competitive",
+        "at least one online-learned policy ties or beats TBNe+TBNp "
+        "kernel time on at least one workload at 110% over-subscription",
+        "hand-built policies are good but not unconditionally optimal",
+        f"{len(competitive)} competitive learned cells "
+        f"(best: {best[1]} on {best[2]} at {best[0]:.3f}x baseline)",
+        bool(competitive),
+    ))
+
+    mismatched = []
+    for label, prefetcher, eviction, keep in LEARNED_PAIRINGS:
+        runs = []
+        for _ in range(2):
+            workload = make_workload("gemm", scale=learned_scale)
+            config = combo_config(workload, prefetcher, eviction,
+                                  oversubscription_percent=percent,
+                                  prefetch_under_pressure=keep)
+            runs.append(run_workload_setting(workload, config).to_json())
+        if runs[0] != runs[1]:
+            mismatched.append(label)
+    checks.append(ClaimCheck(
+        "learned-deterministic",
+        "same-seed runs of every learned pairing are byte-identical "
+        "(online training is part of the reproducible simulation)",
+        "simulation results are deterministic functions of the config",
+        "all learned pairings byte-identical" if not mismatched
+        else f"mismatched: {', '.join(mismatched)}",
+        not mismatched,
+    ))
+
+
 #: (claim-id-prefix, section description, section runner).  Sections are
 #: isolated: one crashing experiment yields a failed ClaimCheck, not a
 #: crashed validation run.
@@ -259,6 +335,7 @@ _SECTIONS = (
     ("fig15/16", "TBNe vs 2MB + thrashing", _check_fig15_fig16),
     ("tune", "policy auto-tuner paper fidelity", _check_tune),
     ("fastpath", "engine differential equivalence", _check_fastpath),
+    ("learned", "learned policy competitiveness", _check_learned),
 )
 
 

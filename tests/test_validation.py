@@ -23,6 +23,7 @@ class TestValidateClaims:
             "fig6-oversub", "fig6-buffer", "fig11-combos",
             "fig13-scaling", "fig15-2mb", "fig16-thrash",
             "tune-recover", "fastpath-equiv",
+            "learned-competitive", "learned-deterministic",
         ]
 
     def test_every_check_is_populated(self, checks):
@@ -42,6 +43,9 @@ class TestValidateClaims:
         assert by_id["tune-recover"].passed
         # Engine equivalence is exact at every scale by construction.
         assert by_id["fastpath-equiv"].passed
+        # The learned checks run at a pinned scale, so they pass too.
+        assert by_id["learned-competitive"].passed
+        assert by_id["learned-deterministic"].passed
 
     def test_majority_reproduced_at_tiny_scale(self, checks):
         assert sum(1 for check in checks if check.passed) >= 7
