@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# Shell-level end-to-end smoke of the cluster tier: boot a coordinator
+# plus three real `repro serve --join` shard daemons against a shared
+# run cache, push a seeded wave of distinct cells through the
+# coordinator, SIGKILL one shard mid-wave, and require that no job is
+# lost (every submission reaches `done` under its coordinator id).
+# A warm second wave of the same cells must then be served almost
+# entirely from cache (hit rate > 0.9), proving routing stickiness
+# survived the failover.  Finishes with the chaos --cluster invariant
+# harness and the dedicated test module.  Exits nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+out_dir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$out_dir"
+}
+trap cleanup EXIT
+
+coord_port=8095
+shard_ports=(8096 8097 8098)
+coord_url="http://127.0.0.1:$coord_port"
+
+echo "== boot: repro cluster --port $coord_port =="
+python -m repro cluster --host 127.0.0.1 --port "$coord_port" \
+    --heartbeat-timeout 5 --no-events \
+    2> "$out_dir/cluster.err" &
+pids+=($!)
+
+for _ in $(seq 1 100); do
+    if python - "$coord_port" <<'EOF' 2>/dev/null
+import sys
+from repro.serve.client import ServeClient
+ServeClient(port=int(sys.argv[1]), timeout=2).healthz()
+EOF
+    then break; fi
+    sleep 0.1
+done
+
+echo "== boot: 3 shards (repro serve --join) =="
+shard_pids=()
+for i in 0 1 2; do
+    python -m repro serve --host 127.0.0.1 --port "${shard_ports[$i]}" \
+        --jobs 2 --worker-mode thread --no-events \
+        --cache-dir "$out_dir/cache" \
+        --journal-dir "$out_dir/journal-s$i" \
+        --join "$coord_url" --shard-id "smoke-s$i" \
+        --heartbeat-interval 0.5 \
+        2> "$out_dir/shard$i.err" &
+    shard_pids[$i]=$!
+    pids+=("${shard_pids[$i]}")
+done
+
+python - "$coord_port" <<'EOF'
+import sys
+import time
+from repro.serve.client import ServeClient
+
+client = ServeClient(port=int(sys.argv[1]), timeout=5)
+deadline = time.monotonic() + 30
+while time.monotonic() < deadline:
+    alive = [s for s in client.cluster_shards()["shards"]
+             if s["state"] == "alive"]
+    if len(alive) >= 3:
+        print(f"registered: {sorted(s['id'] for s in alive)}")
+        break
+    time.sleep(0.2)
+else:
+    sys.exit("FAIL: 3 shards did not register within 30s")
+EOF
+
+echo
+echo "== cold wave: 8 distinct cells, SIGKILL shard 0 mid-wave =="
+python - "$coord_port" "${shard_pids[0]}" <<'EOF'
+import os
+import signal
+import sys
+from repro.serve.client import ServeClient
+
+client = ServeClient(port=int(sys.argv[1]), timeout=10,
+                     connect_retries=3)
+victim = int(sys.argv[2])
+spec = {"name": "hotspot", "scale": 0.05}
+ids = []
+for seed in range(1, 9):
+    job = client.submit(spec, seed=seed)
+    assert job["id"].startswith("c"), job
+    ids.append(job["id"])
+assert len(set(ids)) == len(ids), "duplicate coordinator ids"
+# Every job is now queued or running somewhere; kill the victim
+# shard while the wave is in flight.
+os.kill(victim, signal.SIGKILL)
+print(f"killed shard smoke-s0 (pid {victim}) with the wave in flight")
+lost = []
+for job_id in ids:
+    out = client.wait(job_id, timeout=120.0)
+    if out.get("state") != "done":
+        lost.append((job_id, out.get("state")))
+if lost:
+    sys.exit(f"FAIL: jobs lost or failed across shard kill: {lost}")
+print(f"cold wave OK: {len(ids)} jobs done, none lost")
+EOF
+
+echo
+echo "== warm wave: same 8 cells, hit rate must exceed 0.9 =="
+python - "$coord_port" <<'EOF'
+import sys
+from repro.serve.client import ServeClient
+
+client = ServeClient(port=int(sys.argv[1]), timeout=10,
+                     connect_retries=3)
+spec = {"name": "hotspot", "scale": 0.05}
+hits = jobs = 0
+for seed in range(1, 9):
+    job = client.submit(spec, seed=seed)
+    out = client.wait(job["id"], timeout=120.0)
+    assert out.get("state") == "done", out
+    jobs += 1
+    hits += 1 if out.get("cache_hit") else 0
+rate = hits / jobs
+print(f"warm wave: {hits}/{jobs} cache hits (rate {rate:.2f})")
+if rate <= 0.9:
+    sys.exit(f"FAIL: warm hit rate {rate:.2f} <= 0.9")
+# The killed shard must be declared dead — either discovered on a
+# failed proxy or reaped on heartbeat silence (timeout 5 s).
+import time
+deadline = time.monotonic() + 15
+while time.monotonic() < deadline:
+    states = {s["id"]: s["state"]
+              for s in client.cluster_shards()["shards"]}
+    if states.get("smoke-s0") == "dead":
+        break
+    time.sleep(0.5)
+else:
+    sys.exit(f"FAIL: killed shard never declared dead: {states}")
+metrics = client.cluster_metrics()
+coord = metrics["coordinator"]
+assert coord["cluster.jobs_routed"] >= 16, coord
+assert coord["cluster.shards_dead"] >= 1, coord
+prom = client.cluster_metrics_prom()
+assert 'shard="smoke-s1"' in prom, "missing shard label in prom"
+print("cluster metrics OK: routed %d, failed_over %d, stolen %d"
+      % (coord["cluster.jobs_routed"],
+         coord["cluster.jobs_failed_over"],
+         coord["cluster.jobs_stolen"]))
+EOF
+
+echo
+echo "== repro top --cluster renders the fleet =="
+python -m repro top --cluster "127.0.0.1:$coord_port" \
+    | tee "$out_dir/top.txt"
+grep -q "smoke-s1" "$out_dir/top.txt" || {
+    echo "FAIL: top --cluster missing shard table" >&2
+    exit 1
+}
+
+echo
+echo "== chaos --cluster invariant harness (shard-kill) =="
+python -m repro chaos --cluster --profile shard-kill --shards 3 \
+    --scale 0.05 --seeds 1 2 3 4 --json > "$out_dir/chaos.json"
+python - "$out_dir/chaos.json" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+if not report["ok"]:
+    sys.exit(f"FAIL: cluster chaos violations: {report['violations']}")
+print("chaos OK: jobs_done=%d shards_killed=%d warm_hit_rate=%.2f"
+      % (report["jobs_done"], report["shards_killed"],
+         report["warm_hit_rate"]))
+EOF
+
+echo
+echo "== cluster test module (incl. coordinator HTTP end-to-end) =="
+python -m pytest tests/test_cluster.py -q -m ""
+
+echo
+echo "cluster smoke OK"

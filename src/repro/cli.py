@@ -353,7 +353,66 @@ def build_parser() -> argparse.ArgumentParser:
                               "served at GET /v1/trace")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
+    serve_p.add_argument("--join", default=None, metavar="URL",
+                         help="register with a cluster coordinator "
+                              "(http://host:port) and heartbeat load; "
+                              "see docs/SERVICE.md")
+    serve_p.add_argument("--shard-id", default=None, metavar="ID",
+                         help="stable shard id to join as (default: "
+                              "generated from the advertised address)")
+    serve_p.add_argument("--advertise-host", default=None,
+                         metavar="HOST",
+                         help="address the coordinator dials back "
+                              "(default: --host)")
+    serve_p.add_argument("--heartbeat-interval", type=float,
+                         default=2.0, metavar="SECONDS",
+                         help="seconds between cluster heartbeats "
+                              "(default: 2)")
     add_cache_flags(serve_p)
+
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="run the cluster coordinator federating repro serve "
+             "shards: consistent-hash routing, work-stealing, failover "
+             "(see docs/SERVICE.md)",
+    )
+    cluster_p.add_argument("--host", default="127.0.0.1")
+    cluster_p.add_argument("--port", type=int,
+                           default=SERVE_DEFAULT_PORT + 1,
+                           help="listen port (0 picks a free one; "
+                                f"default: {SERVE_DEFAULT_PORT + 1})")
+    cluster_p.add_argument("--seed", type=int, default=0,
+                           help="hash-ring seed; same seed, same "
+                                "key->shard assignment (default: 0)")
+    cluster_p.add_argument("--vnodes", type=int, default=64,
+                           metavar="N",
+                           help="virtual nodes per shard on the ring "
+                                "(default: 64)")
+    cluster_p.add_argument("--heartbeat-timeout", type=float,
+                           default=5.0, metavar="SECONDS",
+                           help="silence after which a shard is "
+                                "declared dead (default: 5)")
+    cluster_p.add_argument("--steal-threshold", type=int, default=4,
+                           metavar="N",
+                           help="queue depth at which a shard donates "
+                                "work to idle shards (default: 4)")
+    cluster_p.add_argument("--steal-batch", type=int, default=4,
+                           metavar="N",
+                           help="max jobs moved per donor per pass "
+                                "(default: 4)")
+    cluster_p.add_argument("--tick", type=float, default=0.5,
+                           metavar="SECONDS",
+                           help="maintenance period: reap, failover, "
+                                "rebalance (default: 0.5)")
+    cluster_p.add_argument("--events-dir", type=Path, default=None,
+                           help="structured event-log directory "
+                                "(default: results/.servelog)")
+    cluster_p.add_argument("--no-events", action="store_true",
+                           help="disable the structured JSONL event "
+                                "log")
+    cluster_p.add_argument("--verbose", action="store_true",
+                           help="log routing/steal/failover decisions "
+                                "to stderr")
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -370,11 +429,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
                          help="config seeds per workload; the "
                               "profile's poison seeds are appended")
-    chaos_p.add_argument("--profile", default="worker-kill",
-                         help="service fault profile: a name "
-                              "(worker-kill, poison-job, slow-worker, "
-                              "cache-corrupt, mixed), key=value list, "
-                              "or JSON file (default: worker-kill)")
+    chaos_p.add_argument("--profile", default=None,
+                         help="fault profile: a name, key=value list, "
+                              "or JSON file (default: worker-kill, or "
+                              "shard-kill with --cluster)")
+    chaos_p.add_argument("--cluster", action="store_true",
+                         help="run the cluster chaos harness instead: "
+                              "coordinator + shard subprocesses under "
+                              "a ClusterFaultProfile (shard SIGKILL, "
+                              "heartbeat stalls, ring churn)")
+    chaos_p.add_argument("--shards", type=int, default=3, metavar="N",
+                         help="shard daemons to boot with --cluster "
+                              "(default: 3)")
+    chaos_p.add_argument("--workers-per-shard", type=int, default=1,
+                         metavar="N",
+                         help="workers per shard with --cluster "
+                              "(default: 1)")
     chaos_p.add_argument("--workers", type=int, default=2, metavar="N",
                          help="worker processes (default: 2)")
     chaos_p.add_argument("--max-attempts", type=int, default=3,
@@ -403,6 +473,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=300.0,
                        help="seconds to wait for the result "
                             "(default: 300)")
+
+    def add_cluster_flag(p) -> None:
+        """Point a client command at a coordinator instead."""
+        p.add_argument("--cluster", default=None, metavar="URL",
+                       help="cluster coordinator URL "
+                            "(http://host:port); overrides "
+                            "--host/--port")
+
+    def add_fleet_flags(p) -> None:
+        """Fan a read-only command out over many servers."""
+        add_cluster_flag(p)
+        p.add_argument("--endpoint", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="extra server to include (repeatable); "
+                            "with --cluster, added after the live "
+                            "shards")
 
     submit_p = sub.add_parser(
         "submit",
@@ -439,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the job id and return without "
                                "waiting for the result")
     add_remote_flags(submit_p)
+    add_cluster_flag(submit_p)
 
     jobs_p = sub.add_parser(
         "jobs",
@@ -449,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument("--cancel", action="store_true",
                         help="cancel the given queued job")
     add_remote_flags(jobs_p)
+    add_fleet_flags(jobs_p)
 
     loadgen_p = sub.add_parser(
         "loadgen",
@@ -497,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the full report JSON instead of "
                                 "the summary")
     add_remote_flags(loadgen_p)
+    add_cluster_flag(loadgen_p)
 
     top_p = sub.add_parser(
         "top",
@@ -510,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frames to print with --interval "
                             "(0 = until interrupted)")
     add_remote_flags(top_p)
+    add_fleet_flags(top_p)
 
     tune_p = sub.add_parser(
         "tune",
@@ -912,27 +1002,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            job_timeout=args.job_timeout),
         events=events,
         tracer=tracer,
+        join=args.join,
+        shard_id=args.shard_id,
+        advertise_host=args.advertise_host,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import run_coordinator
+    from .serve import DEFAULT_EVENTS_DIR, ServeEventLog
+
+    events = None
+    if not args.no_events:
+        events_dir = args.events_dir if args.events_dir is not None \
+            else DEFAULT_EVENTS_DIR
+        events = ServeEventLog(events_dir)
+    return run_coordinator(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        heartbeat_timeout=args.heartbeat_timeout,
+        steal_threshold=args.steal_threshold,
+        steal_batch=args.steal_batch,
+        tick=args.tick,
+        events=events,
+        verbose=args.verbose,
     )
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from .faultinject import load_service_profile
-    from .serve import run_chaos
+    if args.cluster:
+        from .cluster import run_cluster_chaos
+        from .faultinject import load_cluster_profile
 
-    _check_jobs(args.workers)
-    profile = load_service_profile(args.profile)
-    report = run_chaos(
-        workloads=args.workloads,
-        scale=args.scale,
-        seeds=args.seeds,
-        profile=profile,
-        workers=args.workers,
-        max_attempts=args.max_attempts,
-        job_timeout=args.job_timeout,
-        deadline=args.deadline,
-        root_dir=args.dir,
-        verbose=args.verbose,
-    )
+        profile = load_cluster_profile(args.profile or "shard-kill")
+        report = run_cluster_chaos(
+            workloads=args.workloads,
+            scale=args.scale,
+            seeds=args.seeds,
+            profile=profile,
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            deadline=args.deadline,
+            root_dir=args.dir,
+            verbose=args.verbose,
+        )
+    else:
+        from .faultinject import load_service_profile
+        from .serve import run_chaos
+
+        _check_jobs(args.workers)
+        profile = load_service_profile(args.profile or "worker-kill")
+        report = run_chaos(
+            workloads=args.workloads,
+            scale=args.scale,
+            seeds=args.seeds,
+            profile=profile,
+            workers=args.workers,
+            max_attempts=args.max_attempts,
+            job_timeout=args.job_timeout,
+            deadline=args.deadline,
+            root_dir=args.dir,
+            verbose=args.verbose,
+        )
     if args.json:
         print(json.dumps(report.to_json_dict(), indent=2,
                          sort_keys=True))
@@ -947,7 +1081,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     workload = make_workload(args.workload, scale=args.scale)
     config = _flags_config(args, workload)
-    client = ServeClient(host=args.host, port=args.port)
+    if args.cluster is not None:
+        client = ServeClient.from_url(args.cluster)
+    else:
+        client = ServeClient(host=args.host, port=args.port)
     spec = {"name": args.workload, "scale": args.scale}
     job = client.submit(spec, config=config.to_dict())
     coalesced = " (coalesced into an active job)" if job.get("coalesced") \
@@ -969,34 +1106,88 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_endpoints(args: argparse.Namespace) -> list:
+    """Resolve ``--cluster``/``--endpoint`` into ``(label, client)``
+    pairs; falls back to the single ``--host``/``--port`` server."""
+    from .serve import ServeClient
+
+    endpoints = []
+    if args.cluster is not None:
+        coordinator = ServeClient.from_url(args.cluster,
+                                           timeout=args.timeout)
+        for shard in coordinator.cluster_shards()["shards"]:
+            if shard["state"] != "alive":
+                continue
+            endpoints.append((
+                f"{shard['id']} ({shard['host']}:{shard['port']})",
+                ServeClient(host=shard["host"], port=shard["port"],
+                            timeout=args.timeout)))
+    for spec in args.endpoint or []:
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            raise ConfigurationError(
+                f"--endpoint must look like HOST:PORT, got {spec!r}"
+            )
+        endpoints.append((spec, ServeClient(host=host,
+                                            port=int(port_text),
+                                            timeout=args.timeout)))
+    if not endpoints:
+        endpoints.append((f"{args.host}:{args.port}",
+                          ServeClient(host=args.host, port=args.port,
+                                      timeout=args.timeout)))
+    return endpoints
+
+
 def cmd_jobs(args: argparse.Namespace) -> int:
     from .serve import ServeClient
 
-    client = ServeClient(host=args.host, port=args.port)
-    if args.cancel:
-        if args.job_id is None:
-            raise SystemExit("jobs --cancel needs a job id")
-        status = client.cancel(args.job_id)
-        print(f"{status['id']}: {status['state']}")
-        return 0
-    if args.job_id is not None:
+    if args.job_id is not None or args.cancel:
+        # Single-job operations go to one server: the coordinator
+        # (which proxies by its own job id) or --host/--port.
+        if args.cluster is not None:
+            client = ServeClient.from_url(args.cluster,
+                                          timeout=args.timeout)
+        else:
+            client = ServeClient(host=args.host, port=args.port,
+                                 timeout=args.timeout)
+        if args.cancel:
+            if args.job_id is None:
+                raise SystemExit("jobs --cancel needs a job id")
+            status = client.cancel(args.job_id)
+            print(f"{status['id']}: {status['state']}")
+            return 0
         print(json.dumps(client.status(args.job_id), sort_keys=True,
                          indent=2))
         return 0
-    rows = [
-        [job["id"], job["state"], job["workload"],
-         "-" if job["cache_hit"] is None
-         else ("hit" if job["cache_hit"] else "miss")]
-        for job in client.jobs()
-    ]
-    health = client.healthz()
-    print(format_table(
-        ["job", "state", "workload", "cache"], rows,
-        title=f"{len(rows)} job(s) on http://{args.host}:{args.port} "
-              f"(status {health['status']}, "
-              f"{health['queue_depth']} queued, "
-              f"{health['running_jobs']} running)",
-    ))
+    if args.cluster is not None:
+        # The coordinator's own table first: cluster job ids with the
+        # shard each one currently lives on.
+        coordinator = ServeClient.from_url(args.cluster,
+                                           timeout=args.timeout)
+        rows = [
+            [job["id"], job["state"], job["workload"],
+             job.get("shard", "-")]
+            for job in coordinator.jobs()
+        ]
+        print(format_table(
+            ["job", "state", "workload", "shard"], rows,
+            title=f"{len(rows)} cluster job(s) via {args.cluster}",
+        ))
+    for label, client in _fleet_endpoints(args):
+        rows = [
+            [job["id"], job["state"], job["workload"],
+             "-" if job["cache_hit"] is None
+             else ("hit" if job["cache_hit"] else "miss")]
+            for job in client.jobs()
+        ]
+        health = client.healthz()
+        print(format_table(
+            ["job", "state", "workload", "cache"], rows,
+            title=f"{len(rows)} job(s) on {label} "
+                  f"(status {health['status']}, "
+                  f"{health.get('queue_depth', '?')} queued, "
+                  f"{health.get('running_jobs', '?')} running)",
+        ))
     return 0
 
 
@@ -1023,7 +1214,15 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         eviction=args.eviction,
         timeout=args.timeout,
     )
-    report = run_loadgen(plan, host=args.host, port=args.port)
+    if args.cluster is not None:
+        from .serve import ServeClient
+
+        coordinator = ServeClient.from_url(args.cluster,
+                                           timeout=plan.timeout,
+                                           backpressure_retries=0)
+        report = run_loadgen(plan, client=coordinator, cluster=True)
+    else:
+        report = run_loadgen(plan, host=args.host, port=args.port)
     path = write_report(report, args.out)
     if args.json:
         print(report_to_json(report))
@@ -1047,17 +1246,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def cmd_top(args: argparse.Namespace) -> int:
-    from .loadgen import fetch_top
+    from .loadgen import fetch_cluster_top, fetch_top
+
+    def _frame() -> str:
+        panels = []
+        if args.cluster is not None:
+            panels.append(fetch_cluster_top(args.cluster,
+                                            timeout=args.timeout))
+        for spec in args.endpoint or []:
+            host, sep, port_text = spec.rpartition(":")
+            if not sep or not host or not port_text.isdigit():
+                raise ConfigurationError(
+                    f"--endpoint must look like HOST:PORT, got "
+                    f"{spec!r}"
+                )
+            panels.append(fetch_top(host=host, port=int(port_text),
+                                    timeout=args.timeout))
+        if not panels:
+            panels.append(fetch_top(host=args.host, port=args.port,
+                                    timeout=args.timeout))
+        return "\n\n".join(panels)
 
     if args.interval <= 0:
-        print(fetch_top(host=args.host, port=args.port,
-                        timeout=args.timeout))
+        print(_frame())
         return 0
     frames = 0
     try:
         while True:
-            print(fetch_top(host=args.host, port=args.port,
-                            timeout=args.timeout))
+            print(_frame())
             frames += 1
             if args.count and frames >= args.count:
                 return 0
@@ -1184,6 +1400,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_faults(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "cluster":
+        return cmd_cluster(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "submit":

@@ -1,0 +1,203 @@
+"""Shard membership: registration, heartbeats, dead-on-silence.
+
+The :class:`ShardRegistry` is the coordinator's single source of truth
+about the cluster: which shards exist, where they listen, how loaded
+they are (from their last heartbeat), and — via the embedded
+:class:`~repro.cluster.ring.HashRing` — which live shard owns any key.
+
+Liveness is *dead-on-silence*: a shard that misses heartbeats for
+``heartbeat_timeout`` seconds is reaped, its ring points removed (its
+keyspace re-homes clockwise), and the coordinator fails its in-flight
+jobs over.  A reaped shard that heartbeats again is re-admitted as a
+fresh member — rejoin is just re-registration.
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+can drive reaping deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ShardNotFoundError
+from .ring import DEFAULT_VNODES, HashRing
+
+#: Heartbeats older than this many seconds mean the shard is dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+
+ALIVE = "alive"
+DEAD = "dead"
+
+
+@dataclass
+class ShardInfo:
+    """One registered shard and its last-reported load."""
+
+    id: str
+    host: str
+    port: int
+    workers: int = 1
+    state: str = ALIVE
+    #: ``clock()`` time of the last register/heartbeat.
+    last_heartbeat: float = 0.0
+    heartbeats: int = 0
+    #: Load as of the last heartbeat (stale by design; routing reads it).
+    queue_depth: int = 0
+    running: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.state == ALIVE
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "host": self.host,
+            "port": self.port,
+            "url": self.url,
+            "workers": self.workers,
+            "state": self.state,
+            "heartbeats": self.heartbeats,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+        }
+
+
+class ShardRegistry:
+    """Thread-safe shard table + ring; the coordinator's membership."""
+
+    def __init__(self, seed: int = 0, vnodes: int = DEFAULT_VNODES,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 clock=time.monotonic) -> None:
+        if heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+        self.clock = clock
+        self.ring = HashRing(seed=seed, vnodes=vnodes)
+        self._lock = threading.Lock()
+        self._shards: dict[str, ShardInfo] = {}
+        #: Bumps on any membership change; cheap staleness check.
+        self.generation = 0
+
+    # --- membership --------------------------------------------------------
+    def register(self, shard_id: str, host: str, port: int,
+                 workers: int = 1) -> ShardInfo:
+        """Admit (or re-admit) a shard and add it to the ring.
+
+        Re-registration under a known id updates the address — the
+        rejoin path after a shard restart or a reap — and counts as a
+        heartbeat.
+        """
+        with self._lock:
+            now = self.clock()
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                shard = ShardInfo(id=shard_id, host=host, port=port,
+                                  workers=workers)
+                self._shards[shard_id] = shard
+            shard.host = host
+            shard.port = port
+            shard.workers = workers
+            shard.state = ALIVE
+            shard.last_heartbeat = now
+            shard.heartbeats += 1
+            self.ring.add_shard(shard_id)
+            self.generation += 1
+            return shard
+
+    def heartbeat(self, shard_id: str, queue_depth: int = 0,
+                  running: int = 0) -> ShardInfo:
+        """Record one heartbeat; unknown ids raise
+        :class:`ShardNotFoundError` (the shard must re-register)."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                raise ShardNotFoundError(
+                    f"unknown shard {shard_id!r}; register first"
+                )
+            shard.last_heartbeat = self.clock()
+            shard.heartbeats += 1
+            shard.queue_depth = queue_depth
+            shard.running = running
+            if shard.state == DEAD:
+                # A heartbeat from a reaped shard is a rejoin.
+                shard.state = ALIVE
+                self.ring.add_shard(shard_id)
+                self.generation += 1
+            return shard
+
+    def mark_dead(self, shard_id: str) -> ShardInfo:
+        """Declare a shard dead immediately (connection refused beats
+        waiting out the heartbeat timeout)."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                raise ShardNotFoundError(f"unknown shard {shard_id!r}")
+            if shard.state != DEAD:
+                shard.state = DEAD
+                self.ring.remove_shard(shard_id)
+                self.generation += 1
+            return shard
+
+    def reap(self, now: float | None = None) -> list[ShardInfo]:
+        """Mark silent shards dead; returns the *newly* dead ones."""
+        reaped: list[ShardInfo] = []
+        with self._lock:
+            if now is None:
+                now = self.clock()
+            for shard in self._shards.values():
+                if shard.state == ALIVE and \
+                        now - shard.last_heartbeat > \
+                        self.heartbeat_timeout:
+                    shard.state = DEAD
+                    self.ring.remove_shard(shard.id)
+                    self.generation += 1
+                    reaped.append(shard)
+        return reaped
+
+    # --- lookup ------------------------------------------------------------
+    def get(self, shard_id: str) -> ShardInfo:
+        with self._lock:
+            shard = self._shards.get(shard_id)
+        if shard is None:
+            raise ShardNotFoundError(f"unknown shard {shard_id!r}")
+        return shard
+
+    def shards(self) -> list[ShardInfo]:
+        """Every known shard (alive and dead), sorted by id."""
+        with self._lock:
+            return sorted(self._shards.values(), key=lambda s: s.id)
+
+    def alive(self) -> list[ShardInfo]:
+        with self._lock:
+            return sorted((s for s in self._shards.values() if s.alive),
+                          key=lambda s: s.id)
+
+    def route(self, key: str) -> ShardInfo:
+        """The live shard owning ``key`` (ring placement)."""
+        with self._lock:
+            shard_id = self.ring.owner(key)
+            return self._shards[shard_id]
+
+    def snapshot(self) -> dict:
+        """JSON-able membership view (``GET /v1/cluster/shards``)."""
+        with self._lock:
+            return {
+                "generation": self.generation,
+                "heartbeat_timeout": self.heartbeat_timeout,
+                "ring": {"seed": self.ring.seed,
+                         "vnodes": self.ring.vnodes,
+                         "members": self.ring.members()},
+                "shards": [shard.to_dict()
+                           for shard in sorted(self._shards.values(),
+                                               key=lambda s: s.id)],
+            }

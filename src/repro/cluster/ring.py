@@ -1,0 +1,100 @@
+"""Seeded consistent-hash ring with virtual nodes.
+
+The coordinator routes every job by its simulation content hash
+(:meth:`SweepCell.cache_key`), so the ring is the cluster's cache
+topology: the same key always lands on the same live shard, which
+makes the per-shard run caches behave like one sharded cache and lets
+the shard's coalescing queue absorb thundering herds cluster-wide.
+
+Two properties matter and both are tested:
+
+* **determinism** — placement is a pure function of ``(seed, member
+  set, key)``.  Hashes are SHA-256 (never Python's process-randomized
+  ``hash()``), so two coordinators with the same seed and members
+  compute byte-identical assignments in different processes.
+* **minimal disruption** — each shard projects ``vnodes`` points onto
+  the ring and a key belongs to the first point at or clockwise after
+  it.  Removing one of N shards only re-homes the keys that shard
+  owned (~1/N of the keyspace); everything else stays put, which is
+  what keeps a shard death from flushing the whole cluster's cache
+  locality.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from ..errors import NoShardAvailableError
+
+#: Virtual nodes per shard; more points = smoother balance, larger ring.
+DEFAULT_VNODES = 64
+
+
+def _hash64(text: str) -> int:
+    """First 8 bytes of SHA-256 as an int — stable across processes."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to shard ids."""
+
+    def __init__(self, seed: int = 0,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.seed = seed
+        self.vnodes = vnodes
+        #: Sorted ``(point, shard_id)`` pairs; ties break on shard id.
+        self._points: list[tuple[int, str]] = []
+        self._members: set[str] = set()
+
+    # --- membership --------------------------------------------------------
+    def add_shard(self, shard_id: str) -> None:
+        """Project the shard's virtual nodes onto the ring (idempotent)."""
+        if shard_id in self._members:
+            return
+        self._members.add(shard_id)
+        for vnode in range(self.vnodes):
+            point = _hash64(f"{self.seed}:shard:{shard_id}:{vnode}")
+            bisect.insort(self._points, (point, shard_id))
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Drop the shard's points; its keyspace re-homes clockwise."""
+        if shard_id not in self._members:
+            return
+        self._members.discard(shard_id)
+        self._points = [entry for entry in self._points
+                        if entry[1] != shard_id]
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._members
+
+    # --- placement ---------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first point clockwise from its
+        hash (wrapping), or :class:`NoShardAvailableError` on an empty
+        ring."""
+        if not self._points:
+            raise NoShardAvailableError(
+                "hash ring is empty: no live shard to own key "
+                f"{key[:16]!r}..."
+            )
+        point = _hash64(f"{self.seed}:key:{key}")
+        # First entry with point >= the key's hash ("" sorts before
+        # every shard id, so equal points are found, not skipped).
+        index = bisect.bisect_left(self._points, (point, ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def assignment(self, keys: list[str]) -> dict[str, str]:
+        """Map every key to its owner (test/debug helper)."""
+        return {key: self.owner(key) for key in keys}

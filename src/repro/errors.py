@@ -142,6 +142,18 @@ class BackpressureError(ServeClientError):
         self.retry_after = retry_after
 
 
+class ClusterError(ServeError):
+    """Base class for the multi-host cluster tier (:mod:`repro.cluster`)."""
+
+
+class ShardNotFoundError(ClusterError):
+    """A shard id was referenced that the coordinator does not know."""
+
+
+class NoShardAvailableError(ClusterError):
+    """The ring has no live shard to own a key (every shard is dead)."""
+
+
 class RetryExhaustedError(ReproError):
     """A migration kept failing past the profile's retry budget."""
 

@@ -22,9 +22,18 @@ The same philosophy extends one layer up:
 :class:`~repro.faultinject.service.ServiceFaultProfile` injects
 *service-level* faults — worker-process SIGKILL, wedged workers,
 cache-entry corruption, journal truncation — into the
-:mod:`repro.serve` fleet, driven by the ``repro chaos`` harness.
+:mod:`repro.serve` fleet, driven by the ``repro chaos`` harness; and
+:class:`~repro.faultinject.cluster.ClusterFaultProfile` injects
+*cluster-level* faults — whole-shard SIGKILL, heartbeat stalls, ring
+churn — into a multi-host ``repro serve`` cluster, driven by
+``repro chaos --cluster``.
 """
 
+from .cluster import (
+    CLUSTER_PROFILES,
+    ClusterFaultProfile,
+    load_cluster_profile,
+)
 from .injector import FaultInjector
 from .profile import PROFILES, FaultProfile, load_profile
 from .service import (
@@ -35,12 +44,15 @@ from .service import (
 from .watchdog import Watchdog
 
 __all__ = [
+    "CLUSTER_PROFILES",
+    "ClusterFaultProfile",
     "FaultInjector",
     "FaultProfile",
     "PROFILES",
     "SERVICE_PROFILES",
     "ServiceFaultProfile",
     "Watchdog",
+    "load_cluster_profile",
     "load_profile",
     "load_service_profile",
 ]

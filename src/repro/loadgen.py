@@ -166,20 +166,32 @@ def _quantile(sorted_values: list[float], q: float) -> float:
 
 def run_loadgen(plan: LoadgenPlan, host: str = "127.0.0.1",
                 port: int = DEFAULT_PORT,
-                client: ServeClient | None = None) -> dict:
+                client: ServeClient | None = None,
+                cluster: bool = False) -> dict:
     """Execute one plan against a live daemon; returns the report dict.
 
     Raises :class:`~repro.errors.ServeClientError` if the daemon is
     unreachable at the start.  Individual submissions rejected with 429
     are counted (open loop drops, it does not retry); individual waits
     that time out are counted as errors, not fatal.
+
+    With ``cluster=True`` the target is a ``repro cluster``
+    coordinator: server-side deltas come from the coordinator's
+    *merged* shard metrics (so cache-hit rate is cluster-wide), and the
+    report's ``measured`` block grows a ``cluster`` section with
+    routing/steal/failover counts and the per-shard submission spread.
     """
     plan.validate()
     client = client or ServeClient(host=host, port=port,
                                    timeout=plan.timeout,
                                    backpressure_retries=0)
     health = client.healthz()
-    metrics_before = client.metrics()
+    cluster_before = cluster_after = None
+    if cluster:
+        cluster_before = client.cluster_metrics()
+        metrics_before = cluster_before["merged"]
+    else:
+        metrics_before = client.metrics()
 
     catalog = plan.catalog()
     schedule = plan.arrivals()
@@ -242,10 +254,15 @@ def run_loadgen(plan: LoadgenPlan, host: str = "127.0.0.1",
         thread.join(timeout=plan.timeout + 30.0)
     elapsed = time.monotonic() - started
 
-    metrics_after = client.metrics()
+    if cluster:
+        cluster_after = client.cluster_metrics()
+        metrics_after = cluster_after["merged"]
+    else:
+        metrics_after = client.metrics()
     return build_report(plan, health, submissions, rejected,
                         submit_errors, elapsed, metrics_before,
-                        metrics_after)
+                        metrics_after, cluster_before=cluster_before,
+                        cluster_after=cluster_after)
 
 
 def _spec_kwargs(spec: dict) -> dict:
@@ -260,7 +277,9 @@ def _metric_delta(before: dict, after: dict, name: str) -> int:
 def build_report(plan: LoadgenPlan, health: dict,
                  submissions: list[_Submission], rejected: int,
                  submit_errors: int, elapsed: float,
-                 metrics_before: dict, metrics_after: dict) -> dict:
+                 metrics_before: dict, metrics_after: dict,
+                 cluster_before: dict | None = None,
+                 cluster_after: dict | None = None) -> dict:
     """Assemble ``BENCH_serve.json``: deterministic plan + mix sections
     and one ``measured`` block named in ``volatile``."""
     latencies = sorted(s.latency for s in submissions
@@ -319,6 +338,9 @@ def build_report(plan: LoadgenPlan, health: dict,
             "workers": health.get("workers"),
         },
     }
+    if cluster_after is not None:
+        measured["cluster"] = _cluster_section(
+            cluster_before or {}, cluster_after)
     return {
         "format": BENCH_FORMAT,
         "harness": "repro.loadgen",
@@ -328,6 +350,29 @@ def build_report(plan: LoadgenPlan, health: dict,
         "volatile": list(VOLATILE_REPORT_FIELDS),
         "measured": measured,
     }
+
+
+def _cluster_section(cluster_before: dict, cluster_after: dict) -> dict:
+    """The ``measured.cluster`` block: coordinator counter deltas over
+    the run plus the per-shard submission spread."""
+    coord_before = cluster_before.get("coordinator", {})
+    coord_after = cluster_after.get("coordinator", {})
+    shards_before = cluster_before.get("shards", {})
+    spread = {}
+    for shard_id, flat in sorted(cluster_after.get("shards",
+                                                   {}).items()):
+        spread[shard_id] = _metric_delta(
+            shards_before.get(shard_id, {}), flat,
+            "serve.jobs_submitted")
+    section = {
+        "shards_alive": int(coord_after.get("cluster.shards_alive", 0)),
+        "shard_jobs_submitted": spread,
+    }
+    for short in ("jobs_routed", "jobs_coalesced", "jobs_stolen",
+                  "jobs_failed_over", "shards_dead"):
+        section[short] = _metric_delta(coord_before, coord_after,
+                                       f"cluster.{short}")
+    return section
 
 
 def _workload_mix(plan: LoadgenPlan) -> list[dict]:
@@ -395,6 +440,13 @@ def summarize_report(report: dict) -> str:
         f"  cache: hit rate {measured['cache_hit_rate']:.2f}  "
         f"coalesce rate {measured['coalesce_rate']:.2f}",
     ]
+    cluster = measured.get("cluster")
+    if cluster is not None:
+        lines.append(
+            f"  cluster: {cluster['shards_alive']} shard(s)  "
+            f"routed {cluster['jobs_routed']}  "
+            f"stolen {cluster['jobs_stolen']}  "
+            f"failed over {cluster['jobs_failed_over']}")
     return "\n".join(lines)
 
 
@@ -480,3 +532,62 @@ def fetch_top(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
     client = ServeClient(host=host, port=port, timeout=timeout)
     return render_top(client.healthz(), client.metrics(),
                       host=host, port=port)
+
+
+def render_cluster_top(url: str, health: dict, shards: dict,
+                       metrics: dict) -> str:
+    """One ``repro top --cluster`` frame: coordinator header, merged
+    cluster-wide counters/quantiles, and the shard table."""
+    merged = metrics.get("merged", {})
+    coordinator = metrics.get("coordinator", {})
+    lines = [
+        f"repro cluster @ {url} — status {health.get('status', '?')}, "
+        f"shards {health.get('shards_alive', '?')}/"
+        f"{health.get('shards_known', '?')} alive, generation "
+        f"{shards.get('generation', '?')}",
+        f"routing: routed "
+        f"{coordinator.get('cluster.jobs_routed', 0)} "
+        f"coalesced {coordinator.get('cluster.jobs_coalesced', 0)} "
+        f"stolen {coordinator.get('cluster.jobs_stolen', 0)} "
+        f"failed over "
+        f"{coordinator.get('cluster.jobs_failed_over', 0)} "
+        f"shards dead {coordinator.get('cluster.shards_dead', 0)}",
+        f"jobs (all shards): submitted "
+        f"{merged.get('serve.jobs_submitted', 0)} "
+        f"done {merged.get('serve.jobs_done', 0)} "
+        f"failed {merged.get('serve.jobs_failed', 0)} "
+        f"cancelled {merged.get('serve.jobs_cancelled', 0)}",
+    ]
+    hits = merged.get("serve.cache_hits", 0)
+    misses = merged.get("serve.cache_misses", 0)
+    rate = merged.get("serve.cache_hit_rate",
+                      hits / (hits + misses) if (hits + misses) else 0.0)
+    lines.append(f"cache (all shards): hits {hits} misses {misses} "
+                 f"(hit rate {rate:.2f})")
+    quantiles = []
+    for suffix in ("p50", "p95", "p99"):
+        value = merged.get(f"serve.service_latency_ns_{suffix}")
+        quantiles.append(
+            f"{suffix} " + (_format_seconds(value / 1e9)
+                            if value is not None else "-"))
+    count = merged.get("serve.service_latency_ns_count", 0)
+    lines.append(f"latency (merged histogram): "
+                 f"{'  '.join(quantiles)}  (n={count})")
+    rows = shards.get("shards", [])
+    if rows:
+        lines.append("shard                     state  depth  running  "
+                     "workers  heartbeats")
+        for shard in rows:
+            lines.append(
+                f"{shard['id']:<25} {shard['state']:>5}  "
+                f"{shard['queue_depth']:>5}  {shard['running']:>7}  "
+                f"{shard['workers']:>7}  {shard['heartbeats']:>10}")
+    return "\n".join(lines)
+
+
+def fetch_cluster_top(url: str, timeout: float = 10.0) -> str:
+    """One rendered cluster frame from a live coordinator."""
+    client = ServeClient.from_url(url, timeout=timeout)
+    return render_cluster_top(url, client.healthz(),
+                              client.cluster_shards(),
+                              client.cluster_metrics())

@@ -254,6 +254,47 @@ class Histogram:
                 "count": self.count, "sum": self.sum,
                 "min": self.min, "max": self.max}
 
+    @classmethod
+    def merge(cls, states: list, name: str = "merged",
+              help: str = "", labels: dict | None = None) -> "Histogram":
+        """Exact bucket-wise merge of histogram snapshots.
+
+        ``states`` holds :meth:`state_dict` payloads (or live
+        :class:`Histogram` instances, which are snapshotted first).
+        Counts are summed bucket-wise, sums and counts added, and the
+        min/max are the min of mins / max of maxes — so a coordinator
+        aggregating per-shard latency histograms reproduces exactly the
+        histogram one process observing every sample would have built,
+        rather than a re-sampled approximation.  All inputs must share
+        one bucket ladder; mixing ladders raises ``ValueError`` because
+        a bucket-wise sum across different bounds is meaningless.
+        """
+        dicts = [state.state_dict() if isinstance(state, cls) else state
+                 for state in states]
+        if not dicts:
+            return cls(name, help=help, labels=labels)
+        bounds = [float(bound) for bound in dicts[0]["bounds"]]
+        merged = cls(name, bounds=bounds, help=help, labels=labels)
+        for state in dicts:
+            if [float(bound) for bound in state["bounds"]] != bounds:
+                raise ValueError(
+                    f"cannot merge histograms with different bucket "
+                    f"bounds: {state['bounds']!r} vs {bounds!r}"
+                )
+            for index, count in enumerate(state["counts"]):
+                merged.counts[index] += int(count)
+            merged.count += state["count"]
+            merged.sum += state["sum"]
+            for extreme in (state["min"],):
+                if extreme is not None and (merged.min is None
+                                            or extreme < merged.min):
+                    merged.min = extreme
+            for extreme in (state["max"],):
+                if extreme is not None and (merged.max is None
+                                            or extreme > merged.max):
+                    merged.max = extreme
+        return merged
+
     def load_state(self, state: dict) -> None:
         self.bounds = [float(bound) for bound in state["bounds"]]
         self.counts = [int(count) for count in state["counts"]]

@@ -17,6 +17,7 @@ keeps killing workers is quarantined as a clean failure after
 and asserts the recovery invariants.  See docs/SERVICE.md.
 """
 
+from .api import JsonRequestHandler, make_handler
 from .chaos import ChaosReport, build_chaos_cells, run_chaos
 from .client import DEFAULT_PORT, ServeClient
 from .events import (
@@ -70,6 +71,7 @@ __all__ = [
     "Job",
     "JobJournal",
     "JobQueue",
+    "JsonRequestHandler",
     "QUEUED",
     "RUNNING",
     "SCHEDULING_FIELDS",
@@ -88,6 +90,7 @@ __all__ = [
     "canonical_event_lines",
     "canonical_trace_lines",
     "make_event",
+    "make_handler",
     "run_chaos",
     "validate_event",
 ]

@@ -14,7 +14,9 @@ DELETE /v1/jobs/<id>                cancel a queued job
 GET    /v1/healthz                  liveness + drain state
 GET    /v1/metrics                  metrics snapshot incl. p50/p95/p99
 GET    /v1/metrics?format=prom      Prometheus text exposition (0.0.4)
+GET    /v1/metrics?format=state     raw registry live-state (cluster merge)
 GET    /v1/trace                    merged service Chrome trace
+POST   /v1/steal                    revoke queued jobs (cluster rebalance)
 ====== ============================ =======================================
 
 The handler is deliberately thin: :func:`build_cell` validates the job
@@ -36,8 +38,10 @@ from ..errors import (
     InvalidJobError,
     JobNotFoundError,
     JobStateError,
+    NoShardAvailableError,
     QueueFullError,
     ReproError,
+    ShardNotFoundError,
 )
 from ..stats import FailedRun
 from ..sweep import SweepCell
@@ -111,78 +115,103 @@ def error_payload(exc: Exception) -> dict:
     return {"error": {"type": type(exc).__name__, "message": str(exc)}}
 
 
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for service-tier handlers.
+
+    Subclasses implement ``_route(parts)``; the base maps the library's
+    error family onto status codes uniformly, so a shard and the
+    cluster coordinator disagree on routes but never on error shape.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Overridden per bound handler class (``make_handler``-style).
+    verbose = False
+
+    # --- plumbing ----------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, code: int, payload: dict,
+              headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(code, body, "application/json", headers)
+
+    def _send_text(self, code: int, text: str,
+                   content_type: str) -> None:
+        self._send_bytes(code, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str,
+                    headers: dict[str, str] | None = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise InvalidJobError(
+                f"request body too large ({length} bytes)"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise InvalidJobError("request body must be JSON")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise InvalidJobError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+
+    def _job_id(self, parts: list[str]) -> str:
+        return parts[2]
+
+    def _dispatch(self) -> None:
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        self._query = parse_qs(split.query)
+        try:
+            self._route(parts)
+        except InvalidJobError as exc:
+            self._send(400, error_payload(exc))
+        except (JobNotFoundError, ShardNotFoundError) as exc:
+            self._send(404, error_payload(exc))
+        except QueueFullError as exc:
+            self._send(
+                429, {**error_payload(exc),
+                      "retry_after": exc.retry_after},
+                headers={"Retry-After":
+                         str(max(1, int(exc.retry_after)))},
+            )
+        except JobStateError as exc:
+            self._send(409, error_payload(exc))
+        except NoShardAvailableError as exc:
+            # No live shard right now: temporarily unavailable, come
+            # back once one (re)joins.
+            self._send(503, error_payload(exc),
+                       headers={"Retry-After": "5"})
+        except ReproError as exc:
+            self._send(400, error_payload(exc))
+
+    def _route(self, parts: list[str]) -> None:
+        raise NotImplementedError
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_DELETE = _dispatch
+
+
 def make_handler(service) -> type[BaseHTTPRequestHandler]:
     """Bind a handler class to one
     :class:`~repro.serve.server.SimulationService`."""
 
-    class ServeHandler(BaseHTTPRequestHandler):
-        protocol_version = "HTTP/1.1"
-        server_version = "repro-serve"
-
-        # --- plumbing ----------------------------------------------------
-        def log_message(self, format: str, *args) -> None:
-            if service.verbose:
-                super().log_message(format, *args)
-
-        def _send(self, code: int, payload: dict,
-                  headers: dict[str, str] | None = None) -> None:
-            body = json.dumps(payload, sort_keys=True).encode("utf-8")
-            self._send_bytes(code, body, "application/json", headers)
-
-        def _send_text(self, code: int, text: str,
-                       content_type: str) -> None:
-            self._send_bytes(code, text.encode("utf-8"), content_type)
-
-        def _send_bytes(self, code: int, body: bytes, content_type: str,
-                        headers: dict[str, str] | None = None) -> None:
-            self.send_response(code)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
-                self.send_header(name, value)
-            self.end_headers()
-            self.wfile.write(body)
-
-        def _read_json(self) -> object:
-            length = int(self.headers.get("Content-Length") or 0)
-            if length > MAX_BODY_BYTES:
-                raise InvalidJobError(
-                    f"request body too large ({length} bytes)"
-                )
-            raw = self.rfile.read(length) if length else b""
-            if not raw:
-                raise InvalidJobError("request body must be JSON")
-            try:
-                return json.loads(raw)
-            except ValueError as exc:
-                raise InvalidJobError(
-                    f"request body is not valid JSON: {exc}"
-                ) from None
-
-        def _job_id(self, parts: list[str]) -> str:
-            return parts[2]
-
-        def _dispatch(self) -> None:
-            split = urlsplit(self.path)
-            parts = [part for part in split.path.split("/") if part]
-            self._query = parse_qs(split.query)
-            try:
-                self._route(parts)
-            except InvalidJobError as exc:
-                self._send(400, error_payload(exc))
-            except JobNotFoundError as exc:
-                self._send(404, error_payload(exc))
-            except QueueFullError as exc:
-                self._send(
-                    429, {**error_payload(exc),
-                          "retry_after": exc.retry_after},
-                    headers={"Retry-After":
-                             str(max(1, int(exc.retry_after)))},
-                )
-            except JobStateError as exc:
-                self._send(409, error_payload(exc))
-            except ReproError as exc:
-                self._send(400, error_payload(exc))
+    class ServeHandler(JsonRequestHandler):
+        verbose = service.verbose
 
         # --- routing -----------------------------------------------------
         def _route(self, parts: list[str]) -> None:
@@ -200,10 +229,12 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                     self._send_text(
                         200, service.prometheus_metrics(),
                         "text/plain; version=0.0.4; charset=utf-8")
+                elif fmt == "state":
+                    self._send(200, service.metrics_state())
                 else:
                     raise InvalidJobError(
                         f"unknown metrics format {fmt!r}; "
-                        "expected json or prom")
+                        "expected json, prom, or state")
                 return
             if parts[1:] == ["trace"] and method == "GET":
                 trace = service.trace_dict()
@@ -212,6 +243,9 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                         "service tracing is disabled; start the daemon "
                         "with --service-trace")
                 self._send(200, trace)
+                return
+            if parts[1:] == ["steal"] and method == "POST":
+                self._steal()
                 return
             if parts[1:] == ["jobs"]:
                 if method == "POST":
@@ -259,8 +293,26 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
             payload["coalesced"] = coalesced
             self._send(202, payload)
 
-        do_GET = _dispatch
-        do_POST = _dispatch
-        do_DELETE = _dispatch
+        def _steal(self) -> None:
+            body = self._read_json()
+            if not isinstance(body, dict):
+                raise InvalidJobError(
+                    f"steal body must be a JSON object, got "
+                    f"{type(body).__name__}"
+                )
+            max_jobs = body.get("max", 1)
+            if not isinstance(max_jobs, int) or max_jobs < 1:
+                raise InvalidJobError(
+                    f"steal 'max' must be a positive integer, got "
+                    f"{max_jobs!r}"
+                )
+            stolen = service.steal_jobs(max_jobs)
+            self._send(200, {"stolen": [
+                {"id": job.id,
+                 "key": job.key,
+                 "workload": job.cell.workload_spec,
+                 "config": job.cell.config.to_dict()}
+                for job in stolen
+            ]})
 
     return ServeHandler

@@ -32,6 +32,16 @@ keeps the historical fail-fast behaviour: a typo'd port should not
 take ``connect_retries`` sleeps to report.  Timeouts and other
 transport errors are never retried — a request that may have *reached*
 the server is not known to be safe to repeat.
+
+The two retry loops share one *sleep budget* per logical call
+(``retry_budget`` seconds).  Without it the loops compounded: a
+submission that burned the whole connect-backoff ladder reconnecting
+would then start a fresh ``backpressure_retries`` x ``retry_after_cap``
+allowance on its first 429, so the worst-case wait was the *product* of
+the two policies, not their sum.  Every sleep — connect backoff or
+Retry-After honour — now draws from the same
+:class:`_RetryBudget`; once it is dry, remaining retries are skipped
+and the last error surfaces immediately.
 """
 
 from __future__ import annotations
@@ -47,13 +57,39 @@ from ..stats import FailedRun, SimStats
 DEFAULT_PORT = 8077
 
 
+class _RetryBudget:
+    """A shared allowance of sleep seconds for one logical request.
+
+    Both of :class:`ServeClient`'s retry loops (connect backoff and
+    429 Retry-After honouring) draw from the same budget, so their
+    worst-case combined wait is additive and bounded instead of
+    multiplicative.  :meth:`draw` grants at most what is left; a grant
+    smaller than what was asked for means the budget is dry and the
+    caller should stop retrying.
+    """
+
+    def __init__(self, total: float) -> None:
+        self.total = total
+        self.spent = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(self.total - self.spent, 0.0)
+
+    def draw(self, wanted: float) -> float:
+        grant = min(max(wanted, 0.0), self.remaining)
+        self.spent += grant
+        return grant
+
+
 class ServeClient:
     """Blocking JSON-over-HTTP client; one connection per request."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  timeout: float = 30.0, backpressure_retries: int = 5,
                  retry_after_cap: float = 2.0, connect_retries: int = 0,
-                 connect_backoff: float = 0.05) -> None:
+                 connect_backoff: float = 0.05,
+                 retry_budget: float = 10.0) -> None:
         if backpressure_retries < 0:
             raise ServeClientError(
                 f"backpressure_retries must be >= 0, got "
@@ -71,6 +107,10 @@ class ServeClient:
             raise ServeClientError(
                 f"connect_backoff must be >= 0, got {connect_backoff}"
             )
+        if retry_budget <= 0:
+            raise ServeClientError(
+                f"retry_budget must be > 0, got {retry_budget}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -78,22 +118,55 @@ class ServeClient:
         self.retry_after_cap = retry_after_cap
         self.connect_retries = connect_retries
         self.connect_backoff = connect_backoff
+        self.retry_budget = retry_budget
+        #: Injectable for tests; every retry sleep goes through here.
+        self._sleep = time.sleep
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ServeClient":
+        """Build a client from ``http://host:port`` (scheme optional)."""
+        stripped = url.strip()
+        for prefix in ("http://", "https://"):
+            if stripped.startswith(prefix):
+                stripped = stripped[len(prefix):]
+        stripped = stripped.rstrip("/")
+        host, sep, port_text = stripped.rpartition(":")
+        if not sep or not host:
+            raise ServeClientError(
+                f"server URL must look like host:port, got {url!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServeClientError(
+                f"server URL has a non-numeric port: {url!r}"
+            ) from None
+        return cls(host=host, port=port, **kwargs)
 
     # --- transport ---------------------------------------------------------
     def _request(self, method: str, path: str,
-                 body: dict | None = None) -> dict:
+                 body: dict | None = None,
+                 budget: _RetryBudget | None = None) -> dict:
         """One logical request, with opt-in connect-level retries.
 
         Only ``ConnectionRefusedError`` / ``ConnectionResetError`` are
         retried (the request provably never completed); a timeout or
-        any other transport failure raises immediately.
+        any other transport failure raises immediately.  Backoff sleeps
+        draw from ``budget`` (shared with :meth:`submit`'s 429 loop);
+        when the budget runs dry, remaining retries are skipped and the
+        final attempt is made immediately.
         """
+        if budget is None:
+            budget = _RetryBudget(self.retry_budget)
         for attempt in range(self.connect_retries):
             try:
                 return self._request_once(method, path, body)
             except (ConnectionRefusedError, ConnectionResetError):
-                time.sleep(min(self.connect_backoff * 2 ** attempt,
-                               1.0))
+                wanted = min(self.connect_backoff * 2 ** attempt, 1.0)
+                granted = budget.draw(wanted)
+                if granted < wanted:
+                    break
+                self._sleep(granted)
         try:
             return self._request_once(method, path, body)
         except (ConnectionRefusedError, ConnectionResetError) as exc:
@@ -185,6 +258,41 @@ class ServeClient:
         """The Prometheus text exposition (``?format=prom``)."""
         return self._request_text("/v1/metrics?format=prom")
 
+    def metrics_state(self) -> dict:
+        """The raw registry live-state (``?format=state``), the exact
+        per-instrument dump the cluster coordinator merges."""
+        return self._request("GET", "/v1/metrics?format=state")
+
+    def steal(self, max_jobs: int) -> list[dict]:
+        """Revoke up to ``max_jobs`` queued jobs from this shard.
+
+        The coordinator's work-stealing primitive; returns the revoked
+        jobs as re-submittable specs (``{id, key, workload, config}``).
+        """
+        return self._request("POST", "/v1/steal",
+                             body={"max": max_jobs})["stolen"]
+
+    # --- coordinator API (only answered by ``repro cluster``) --------------
+    def cluster_shards(self) -> dict:
+        """The coordinator's shard table (``GET /v1/cluster/shards``)."""
+        return self._request("GET", "/v1/cluster/shards")
+
+    def cluster_metrics(self) -> dict:
+        """Merged cluster metrics (``GET /v1/cluster/metrics``)."""
+        return self._request("GET", "/v1/cluster/metrics")
+
+    def cluster_metrics_prom(self) -> str:
+        """Cluster metrics as Prometheus text, every series carrying a
+        ``shard=`` label (plus the coordinator's own series)."""
+        return self._request_text("/v1/cluster/metrics?format=prom")
+
+    def register_shard(self, payload: dict) -> dict:
+        return self._request("POST", "/v1/cluster/register", body=payload)
+
+    def heartbeat_shard(self, payload: dict) -> dict:
+        return self._request("POST", "/v1/cluster/heartbeat",
+                             body=payload)
+
     def trace(self) -> dict:
         """The merged service Chrome trace (404 if tracing is off)."""
         return self._request("GET", "/v1/trace")
@@ -198,19 +306,33 @@ class ServeClient:
         ``retry_after_cap`` seconds — between attempts.  The final
         attempt re-raises :class:`~repro.errors.BackpressureError`
         untouched, so callers still see the server's hint.
+
+        All sleeps — Retry-After waits *and* any connect-backoff taken
+        while reconnecting between attempts — draw from one
+        ``retry_budget``-second allowance for the whole call, so a 429
+        that lands after an expensive reconnect cannot restart the wait
+        from zero.  When the budget runs dry the current error is
+        raised immediately.
         """
         spec: dict = {"workload": workload}
         if config is not None:
             spec["config"] = config
         if seed is not None:
             spec["seed"] = seed
+        budget = _RetryBudget(self.retry_budget)
         for _ in range(self.backpressure_retries):
             try:
-                return self._request("POST", "/v1/jobs", body=spec)
+                return self._request("POST", "/v1/jobs", body=spec,
+                                     budget=budget)
             except BackpressureError as exc:
-                time.sleep(min(max(exc.retry_after, 0.0),
-                               self.retry_after_cap))
-        return self._request("POST", "/v1/jobs", body=spec)
+                wanted = min(max(exc.retry_after, 0.0),
+                             self.retry_after_cap)
+                granted = budget.draw(wanted)
+                if granted < wanted:
+                    raise
+                self._sleep(granted)
+        return self._request("POST", "/v1/jobs", body=spec,
+                             budget=budget)
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")

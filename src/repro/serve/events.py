@@ -76,6 +76,14 @@ EVENT_KINDS = (
     "quarantined",
     "terminal",
     "worker_restart",
+    # Cluster-tier kinds (coordinator-side; carry a ``shard`` field so
+    # per-shard routing/steal/failover decisions stay greppable in the
+    # merged log — the job id is the cluster-wide correlation id).
+    "routed",
+    "stolen",
+    "failover",
+    "shard_joined",
+    "shard_dead",
 )
 _KIND_RANK = {kind: rank for rank, kind in enumerate(EVENT_KINDS)}
 
@@ -89,7 +97,8 @@ def make_event(kind: str, ts: float, job: str | None = None,
                seq: int | None = None, worker: int | None = None,
                attempt: int = 0, cache: str | None = None,
                state: str | None = None,
-               detail: str | None = None) -> dict:
+               detail: str | None = None,
+               shard: str | None = None) -> dict:
     """One schema-conforming event record; ``None`` optionals are
     omitted so the JSONL stays dense."""
     event: dict = {"format": EVENT_FORMAT, "ts": ts, "kind": kind,
@@ -106,6 +115,8 @@ def make_event(kind: str, ts: float, job: str | None = None,
         event["state"] = state
     if detail is not None:
         event["detail"] = detail
+    if shard is not None:
+        event["shard"] = shard
     return event
 
 
@@ -131,7 +142,8 @@ def validate_event(event: object) -> list[str]:
     if "cache" in event and event["cache"] not in ("hit", "miss"):
         problems.append(f"cache must be hit|miss, got {event['cache']!r}")
     for field, type_ in (("ts", (int, float)), ("attempt", int),
-                         ("seq", int), ("worker", int), ("job", str)):
+                         ("seq", int), ("worker", int), ("job", str),
+                         ("shard", str)):
         if field in event and not isinstance(event[field], type_):
             problems.append(
                 f"field {field!r} must be {type_}, got "
@@ -172,11 +184,12 @@ class ServeEventLog:
     def emit(self, kind: str, job: str | None = None,
              seq: int | None = None, worker: int | None = None,
              attempt: int = 0, cache: str | None = None,
-             state: str | None = None, detail: str | None = None) -> dict:
+             state: str | None = None, detail: str | None = None,
+             shard: str | None = None) -> dict:
         """Build, validate, and append one event; returns the record."""
         event = make_event(kind, self.clock(), job=job, seq=seq,
                            worker=worker, attempt=attempt, cache=cache,
-                           state=state, detail=detail)
+                           state=state, detail=detail, shard=shard)
         problems = validate_event(event)
         if problems:
             raise ValueError(

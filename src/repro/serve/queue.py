@@ -257,6 +257,30 @@ class JobQueue:
             self._waiting.appendleft(job)
             self._cond.notify()
 
+    def steal(self, max_jobs: int) -> list[Job]:
+        """Revoke up to ``max_jobs`` *queued* jobs for another executor.
+
+        The cluster tier's work-stealing primitive: the coordinator asks
+        an overloaded shard to give back queued overflow so an idle
+        shard can run it.  Jobs come off the *back* of the line — the
+        newest submissions, whose latency the move hurts least — and
+        leave through the legal ``queued -> cancelled`` edge (from this
+        shard's point of view the job is gone; the coordinator re-leases
+        the returned cells elsewhere and keeps the cluster-wide id
+        mapping).  Running jobs are never stolen: the simulator has no
+        preemption point.  Returns the revoked jobs, newest first.
+        """
+        if max_jobs < 1:
+            return []
+        stolen: list[Job] = []
+        with self._cond:
+            while self._waiting and len(stolen) < max_jobs:
+                job = self._waiting.pop()
+                job.advance(CANCELLED)
+                self._active_by_key.pop(job.key, None)
+                stolen.append(job)
+        return stolen
+
     def complete(self, job: Job, result: SimStats | FailedRun,
                  cache_hit: bool) -> None:
         """Record a running job's outcome (``done`` or ``failed``)."""

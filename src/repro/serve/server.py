@@ -175,6 +175,9 @@ class SimulationService:
         self._started = False
         self._draining = threading.Event()
         self._drained = False
+        #: Set by the shard agent when this daemon joined a cluster.
+        self.shard_id: str | None = None
+        self.coordinator_url: str | None = None
 
         # The registry must exist before the backend: the supervisor
         # registers its per-worker instruments at construction time.
@@ -215,6 +218,10 @@ class SimulationService:
         self._m_cache_quarantined = registry.counter(
             "serve.cache_entries_quarantined",
             "corrupt run-cache entries moved aside and re-executed")
+        self._m_stolen = registry.counter(
+            "serve.jobs_stolen",
+            "queued jobs revoked by the cluster coordinator for an "
+            "idle shard")
         self._g_depth = registry.gauge(
             "serve.queue_depth", "jobs waiting for a worker")
         self._g_running = registry.gauge(
@@ -380,6 +387,30 @@ class SimulationService:
         self.sample_gauges()
         return job, coalesced
 
+    def steal_jobs(self, max_jobs: int) -> list[Job]:
+        """Give up to ``max_jobs`` queued jobs back to the coordinator.
+
+        The work-stealing donor side: each revoked job leaves the queue
+        through the ``queued -> cancelled`` edge, is forgotten from the
+        journal (the coordinator now owns its fate — double execution
+        after a restart would violate the cluster-wide
+        no-duplicate-terminal invariant), and is reported as a
+        ``stolen`` event.  Returns the revoked jobs so the HTTP layer
+        can ship their cells.
+        """
+        stolen = self.queue.steal(max_jobs)
+        for job in stolen:
+            self._m_stolen.inc()
+            if self.journal is not None:
+                self.journal.forget(job.id)
+            self._event("stolen", job, attempt=job.attempts)
+            if self.tracer is not None:
+                self.tracer.job_terminal(job.id, job.seq, "cancelled",
+                                         cache=None)
+        if stolen:
+            self.sample_gauges()
+        return stolen
+
     def cancel(self, job_id: str) -> Job:
         job = self.queue.cancel(job_id)
         self._m_cancelled.inc()
@@ -419,6 +450,9 @@ class SimulationService:
             "workers": self.jobs,
             "cache": str(self.cache.root) if self.cache else None,
         }
+        if self.shard_id is not None:
+            health["shard_id"] = self.shard_id
+            health["coordinator"] = self.coordinator_url
         health.update(self._backend.descriptor())
         return health
 
@@ -438,6 +472,19 @@ class SimulationService:
         self.sample_gauges()
         self._backend.sample_metrics()
         return prometheus_text(self.registry)
+
+    def metrics_state(self) -> dict:
+        """Lossless instrument state (``GET /v1/metrics?format=state``).
+
+        Unlike the flat snapshot, this keeps each histogram's exact
+        bucket ladder and counts, which is what lets the cluster
+        coordinator merge per-shard latency histograms bucket-wise
+        (:meth:`repro.obs.metrics.Histogram.merge`) instead of
+        re-estimating quantiles from quantiles.
+        """
+        self.sample_gauges()
+        self._backend.sample_metrics()
+        return self.registry.live_state()
 
     def trace_dict(self) -> dict | None:
         """The merged service trace, or ``None`` when tracing is off."""
@@ -530,8 +577,19 @@ def run_server(
     fleet: FleetOptions | None = None,
     events: ServeEventLog | None = None,
     tracer: ServiceTracer | None = None,
+    join: str | None = None,
+    shard_id: str | None = None,
+    advertise_host: str | None = None,
+    heartbeat_interval: float = 2.0,
 ) -> int:
-    """The ``repro serve`` entry point: boot, announce, block, drain."""
+    """The ``repro serve`` entry point: boot, announce, block, drain.
+
+    With ``join`` set (a coordinator URL), the daemon runs in *shard
+    mode*: a :class:`~repro.cluster.agent.ShardAgent` registers it with
+    the coordinator and heartbeats queue depth/inflight until drain.
+    The shard stays fully usable standalone — cluster membership only
+    adds routing, it never gates admission.
+    """
     service = SimulationService(jobs=jobs, queue_limit=queue_limit,
                                 cache=cache, journal=journal,
                                 verbose=verbose, worker_mode=worker_mode,
@@ -540,6 +598,20 @@ def run_server(
     resumed = service.start()
     server = ServiceServer(service, host=host, port=port)
     server.install_signal_handlers()
+    agent = None
+    if join is not None:
+        from ..cluster.agent import ShardAgent
+        agent = ShardAgent(
+            service,
+            coordinator_url=join,
+            advertise_host=advertise_host or server.host,
+            advertise_port=server.port,
+            shard_id=shard_id,
+            interval=heartbeat_interval,
+        )
+        agent.start()
+        print(f"[serve] joining cluster at {join} as shard "
+              f"{agent.shard_id!r}", file=sys.stderr)
     resumed_note = f", resumed {resumed} journaled job(s)" if resumed \
         else ""
     print(f"[serve] listening on http://{server.host}:{server.port} "
@@ -550,6 +622,8 @@ def run_server(
     except KeyboardInterrupt:
         server.shutdown()
     finally:
+        if agent is not None:
+            agent.stop()
         server.close()
     pending = len(service.queue.pending())
     print(f"[serve] drained; {pending} queued job(s) left journaled",

@@ -386,6 +386,161 @@ class TestClientConnectRetries:
             ServeClient(connect_retries=-1)
         with pytest.raises(ServeClientError):
             ServeClient(connect_backoff=-0.1)
+        with pytest.raises(ServeClientError):
+            ServeClient(retry_budget=0.0)
+
+
+class TestRetryBudget:
+    """The shared sleep budget across ServeClient's two retry loops."""
+
+    def test_draw_grants_at_most_remaining(self):
+        from repro.serve.client import _RetryBudget
+
+        budget = _RetryBudget(1.0)
+        assert budget.draw(0.6) == pytest.approx(0.6)
+        assert budget.draw(0.6) == pytest.approx(0.4)
+        assert budget.draw(0.6) == 0.0
+        assert budget.remaining == 0.0
+
+    def test_negative_wanted_is_free(self):
+        from repro.serve.client import _RetryBudget
+
+        budget = _RetryBudget(1.0)
+        assert budget.draw(-5.0) == 0.0
+        assert budget.remaining == 1.0
+
+    @staticmethod
+    def _scripted_client(script, **kwargs):
+        """A client whose transports follow ``script`` (exceptions are
+        raised, dicts returned) and whose sleeps are recorded."""
+        client = ServeClient(port=1, **kwargs)
+        client.sleeps = []
+        client._sleep = client.sleeps.append
+        steps = iter(script)
+
+        def fake_request_once(method, path, body=None):
+            step = next(steps)
+            if isinstance(step, BaseException):
+                raise step
+            return step
+
+        client._request_once = fake_request_once
+        return client
+
+    def test_connect_and_429_loops_share_one_budget(self):
+        """Regression: a 429 landing after the connect-backoff ladder
+        used to start a fresh Retry-After allowance, making the
+        worst-case wait the *product* of the two policies.  Now every
+        sleep draws from one ``retry_budget``; once the reconnect burns
+        it, the 429 raises immediately."""
+        client = self._scripted_client(
+            [ConnectionRefusedError("down"),
+             ConnectionRefusedError("down"),
+             BackpressureError("queue full", retry_after=10.0)],
+            connect_retries=3, connect_backoff=1.0,
+            backpressure_retries=5, retry_after_cap=2.0,
+            retry_budget=1.5)
+        with pytest.raises(BackpressureError):
+            client.submit({"name": "hotspot", "scale": 0.1})
+        # Connect attempt 0 slept min(backoff, 1.0) = 1.0; attempt 1
+        # wanted another 1.0 but only 0.5 remained, so the ladder
+        # stopped; the 429 wanted 2.0 against an empty budget and
+        # surfaced without sleeping.  Total wait <= retry_budget.
+        assert client.sleeps == [1.0]
+        assert sum(client.sleeps) <= 1.5
+
+    def test_429_sleeps_bounded_by_budget(self):
+        client = self._scripted_client(
+            [BackpressureError("full", retry_after=5.0)] * 10,
+            backpressure_retries=9, retry_after_cap=2.0,
+            retry_budget=3.0)
+        with pytest.raises(BackpressureError):
+            client.submit({"name": "hotspot", "scale": 0.1})
+        # Wanted 2.0 per retry: granted 2.0, then only 1.0 remained
+        # (< wanted), so the loop stopped after one sleep.
+        assert client.sleeps == [2.0]
+        assert sum(client.sleeps) <= 3.0
+
+    def test_budget_spans_submit_attempts(self):
+        """One budget covers the whole logical submit: connect backoff
+        taken while *retrying after a 429* draws from the same pool."""
+        client = self._scripted_client(
+            [BackpressureError("full", retry_after=1.0),
+             ConnectionRefusedError("restarting"),
+             {"id": "j1", "state": "queued"}],
+            connect_retries=2, connect_backoff=0.25,
+            backpressure_retries=3, retry_after_cap=1.0,
+            retry_budget=10.0)
+        status = client.submit({"name": "hotspot", "scale": 0.1})
+        assert status["id"] == "j1"
+        # One 429 sleep (1.0) + one connect-backoff sleep (0.25).
+        assert client.sleeps == [1.0, 0.25]
+
+    def test_success_sleeps_nothing(self):
+        client = self._scripted_client(
+            [{"id": "j1", "state": "queued"}],
+            backpressure_retries=5, retry_budget=2.0)
+        client.submit({"name": "hotspot", "scale": 0.1})
+        assert client.sleeps == []
+
+
+class TestServeClientFromUrl:
+    def test_plain_and_schemed(self):
+        for url in ("10.0.0.2:8077", "http://10.0.0.2:8077",
+                    "https://10.0.0.2:8077", "http://10.0.0.2:8077/"):
+            client = ServeClient.from_url(url)
+            assert (client.host, client.port) == ("10.0.0.2", 8077)
+
+    def test_kwargs_pass_through(self):
+        client = ServeClient.from_url("h:1", timeout=3.0,
+                                      retry_budget=1.0)
+        assert client.timeout == 3.0
+        assert client.retry_budget == 1.0
+
+    def test_malformed_urls_rejected(self):
+        for url in ("nohost", "http://", "host:port", ":8077"):
+            with pytest.raises(ServeClientError):
+                ServeClient.from_url(url)
+
+
+class TestQueueSteal:
+    """The shard-side work-stealing primitive (`JobQueue.steal`)."""
+
+    def test_steals_newest_first_and_cancels(self):
+        queue = JobQueue()
+        jobs = [queue.submit(cell(seed))[0] for seed in (1, 2, 3)]
+        stolen = queue.steal(2)
+        assert [job.id for job in stolen] == \
+            [jobs[2].id, jobs[1].id]
+        assert all(job.state == CANCELLED for job in stolen)
+        # The oldest job is untouched and still next in line.
+        assert queue.take(timeout=1) is jobs[0]
+
+    def test_running_jobs_are_never_stolen(self):
+        queue = JobQueue()
+        running, _ = queue.submit(cell(1))
+        queue.take(timeout=1)
+        queued, _ = queue.submit(cell(2))
+        stolen = queue.steal(10)
+        assert [job.id for job in stolen] == [queued.id]
+        assert running.state == RUNNING
+
+    def test_stolen_keys_can_resubmit(self):
+        """A stolen job leaves the coalescing map, so the same cell can
+        be admitted again (the donor shard might be routed it later)."""
+        queue = JobQueue()
+        job, _ = queue.submit(cell(5))
+        queue.steal(1)
+        again, coalesced = queue.submit(cell(5))
+        assert not coalesced
+        assert again.id != job.id
+
+    def test_nonpositive_max_is_a_noop(self):
+        queue = JobQueue()
+        queue.submit(cell(1))
+        assert queue.steal(0) == []
+        assert queue.steal(-3) == []
+        assert queue.depth == 1
 
 
 class TestHistogramQuantile:
